@@ -1,0 +1,109 @@
+// Shared plumbing for the figure-reproduction benchmarks.
+//
+// Each fig* binary regenerates one figure of the paper's evaluation
+// (Sec. VI) and prints the same rows/series the paper plots. Platform
+// mapping (see DESIGN.md): the paper's "CPU" (Haswell/AVX2) is our AVX2
+// backend, its "MIC" (Knights Corner/IMCI) is our AVX-512 backend
+// restricted to 32-bit lanes. Absolute numbers differ from the paper's
+// testbed; the reproduced quantity is the relative shape (who wins, by
+// what factor, where the crossovers are).
+//
+// AALIGN_BENCH_SCALE=<float> scales workload sizes (default 1.0).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "score/matrices.h"
+#include "seq/generator.h"
+#include "simd/isa.h"
+#include "util/stopwatch.h"
+
+namespace aalign::bench {
+
+inline double scale_factor() {
+  const char* s = std::getenv("AALIGN_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  return std::max<std::size_t>(1,
+                               static_cast<std::size_t>(n * scale_factor()));
+}
+
+// The paper's two platforms, mapped to what this machine offers.
+struct Platform {
+  const char* label;  // "CPU(avx2)" / "MIC(avx512)"
+  simd::IsaKind isa;
+};
+
+inline std::vector<Platform> platforms() {
+  std::vector<Platform> out;
+  if (simd::isa_available(simd::IsaKind::Avx2)) {
+    out.push_back({"CPU(avx2)", simd::IsaKind::Avx2});
+  } else if (simd::isa_available(simd::IsaKind::Sse41)) {
+    out.push_back({"CPU(sse41)", simd::IsaKind::Sse41});
+  } else {
+    out.push_back({"CPU(scalar)", simd::IsaKind::Scalar});
+  }
+  if (simd::isa_available(simd::IsaKind::Avx512)) {
+    out.push_back({"MIC(avx512)", simd::IsaKind::Avx512});
+  }
+  return out;
+}
+
+// Median-of-repeats timing of one aligner invocation.
+template <class F>
+double time_median(F&& fn, int repeats = 5) {
+  double best[32];
+  repeats = std::min(repeats, 32);
+  fn();  // warmup
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch sw;
+    fn();
+    best[r] = sw.seconds();
+  }
+  std::sort(best, best + repeats);
+  return best[repeats / 2];
+}
+
+inline const char* short_strategy(Strategy s) {
+  switch (s) {
+    case Strategy::Sequential: return "seq";
+    case Strategy::StripedIterate: return "iterate";
+    case Strategy::StripedScan: return "scan";
+    case Strategy::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+struct ConfigCase {
+  const char* label;
+  AlignKind kind;
+  Penalties pen;
+};
+
+// The paper's four algorithm/gap combinations (Figs. 2, 9, 10).
+inline std::vector<ConfigCase> paper_configs() {
+  return {
+      {"SW-linear", AlignKind::Local, Penalties::symmetric(0, 4)},
+      {"SW-affine", AlignKind::Local, Penalties::symmetric(10, 2)},
+      {"NW-linear", AlignKind::Global, Penalties::symmetric(0, 4)},
+      {"NW-affine", AlignKind::Global, Penalties::symmetric(10, 2)},
+  };
+}
+
+inline AlignConfig make_config(const ConfigCase& c) {
+  AlignConfig cfg;
+  cfg.kind = c.kind;
+  cfg.pen = c.pen;
+  return cfg;
+}
+
+}  // namespace aalign::bench

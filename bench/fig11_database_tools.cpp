@@ -1,0 +1,127 @@
+// Figure 11: multi-threaded AAlign Smith-Waterman (affine) vs the
+// highly-optimized tools, searching a whole protein database.
+//
+// Paper setup: swiss-prot (~570k sequences); CPU panel compares AAlign
+// (short/16-bit kernels, hybrid) against SWPS3 (adaptive char/short,
+// iterate); MIC panel compares AAlign (int/32-bit, hybrid) against SWAPHI
+// (int, intra-sequence iterate). Queries of increasing length. Paper
+// result: AAlign up to 2.5x over SWPS3 (short queries), SWPS3 ahead on
+// the longest query (its 8-bit buffers halve cache pressure); AAlign
+// ~1.6x over SWAPHI on MIC.
+//
+// Here: a Swiss-Prot-like synthetic database (log-normal lengths, seeded
+// with a few real homologs of each query so the adaptive paths trigger),
+// scaled by AALIGN_BENCH_SCALE (default 2000 sequences).
+#include <cstdio>
+
+#include "baselines/swaphi_like.h"
+#include "baselines/swps3_like.h"
+#include "bench_common.h"
+#include "search/database_search.h"
+#include "seq/pairgen.h"
+
+using namespace aalign;
+using namespace aalign::bench;
+
+namespace {
+
+seq::Database make_database(seq::SequenceGenerator& gen,
+                            const std::vector<seq::Sequence>& queries) {
+  auto raw = gen.protein_database(scaled(2000), 290.0, 0.55, 30, 4000);
+  // Plant homologs so score distributions (and SWPS3's 8->16 promotions)
+  // look like a real search.
+  for (const seq::Sequence& q : queries) {
+    for (seq::Level mi : {seq::Level::Hi, seq::Level::Md}) {
+      raw.push_back(
+          seq::make_similar_subject(gen, q, {seq::Level::Hi, mi}));
+    }
+  }
+  return seq::Database(score::Alphabet::protein(), raw);
+}
+
+}  // namespace
+
+int main() {
+  const auto& matrix = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+  seq::SequenceGenerator gen(1105);
+
+  const std::size_t query_lens[] = {110, 250, 500, 1000, 2000, 4000};
+  std::vector<seq::Sequence> queries;
+  for (std::size_t len : query_lens) {
+    queries.push_back(gen.protein(len, "Q" + std::to_string(len)));
+  }
+
+  seq::Database db = make_database(gen, queries);
+  std::printf("Figure 11: whole-database SW-affine search; database: %zu "
+              "sequences, %zu residues\n\n",
+              db.size(), db.total_residues());
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = pen;
+
+  // --- CPU panel: AAlign (16-bit hybrid, AVX2) vs SWPS3-like (8/16
+  // iterate on 128-bit SSE - SWPS3 is an SSE2-era tool; keeping it on the
+  // narrow ISA mirrors the paper's actual comparison) ------------------
+  const Platform cpu = platforms().front();
+  const simd::IsaKind swps3_isa = simd::isa_available(simd::IsaKind::Sse41)
+                                      ? simd::IsaKind::Sse41
+                                      : cpu.isa;
+  std::printf("--- %s panel: AAlign(short, hybrid, %s) vs SWPS3-like "
+              "(char->short, iterate, %s) ---\n",
+              cpu.label, simd::isa_name(cpu.isa), simd::isa_name(swps3_isa));
+  std::printf("%-7s %12s %12s %10s %10s %9s\n", "query", "aalign(s)",
+              "swps3(s)", "aal-GCUPS", "sw-GCUPS", "speedup");
+  for (const seq::Sequence& q : queries) {
+    const auto qenc = matrix.alphabet().encode(q.residues);
+
+    search::SearchOptions aopt;
+    aopt.threads = 4;
+    aopt.query.strategy = Strategy::Hybrid;
+    aopt.query.isa = cpu.isa;
+    aopt.query.width = ScoreWidth::W16;
+    aopt.keep_all_scores = false;
+    search::DatabaseSearch aalign_search(matrix, cfg, aopt);
+    const auto ra = aalign_search.search(qenc, db);
+
+    baselines::Swps3Like swps3(matrix, pen, swps3_isa, 4);
+    const auto rs = swps3.search(qenc, db);
+
+    std::printf("%-7s %12.3f %12.3f %10.2f %10.2f %8.2fx\n", q.id.c_str(),
+                ra.seconds, rs.seconds, ra.gcups, rs.gcups,
+                rs.seconds / ra.seconds);
+  }
+
+  // --- MIC panel: AAlign (32-bit hybrid) vs SWAPHI-like (32-bit iterate) -
+  const Platform mic = platforms().back();
+  std::printf("\n--- %s panel: AAlign(int, hybrid) vs SWAPHI-like "
+              "(int, iterate) ---\n", mic.label);
+  std::printf("%-7s %12s %12s %10s %10s %9s\n", "query", "aalign(s)",
+              "swaphi(s)", "aal-GCUPS", "sw-GCUPS", "speedup");
+  for (const seq::Sequence& q : queries) {
+    const auto qenc = matrix.alphabet().encode(q.residues);
+
+    search::SearchOptions aopt;
+    aopt.threads = 4;
+    aopt.query.strategy = Strategy::Hybrid;
+    aopt.query.isa = mic.isa;
+    aopt.query.width = ScoreWidth::W32;
+    aopt.keep_all_scores = false;
+    search::DatabaseSearch aalign_search(matrix, cfg, aopt);
+    const auto ra = aalign_search.search(qenc, db);
+
+    baselines::SwaphiLike swaphi(matrix, pen, mic.isa, 4);
+    const auto rw = swaphi.search(qenc, db);
+
+    std::printf("%-7s %12.3f %12.3f %10.2f %10.2f %8.2fx\n", q.id.c_str(),
+                ra.seconds, rw.seconds, ra.gcups, rw.gcups,
+                rw.seconds / ra.seconds);
+  }
+
+  std::printf(
+      "\npaper shape: CPU panel - AAlign ahead on short queries, SWPS3-like "
+      "closes (and can win) on the longest query thanks to 8-bit buffers; "
+      "MIC panel - AAlign's hybrid beats the iterate-only 32-bit tool.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Micro-benchmarks of the vector modules (paper Table I) across backends:
+// per-column cost of wgt_max_scan, rshift_x_fill, and the influence test.
+// These quantify the fixed scan overhead vs. the data-dependent lazy-F
+// cost that the hybrid method trades off (Sec. V-B).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "simd/modules.h"
+#include "simd/vec_avx2.h"
+#include "simd/vec_avx512.h"
+#include "simd/vec_scalar.h"
+#include "simd/vec_sse41.h"
+#include "util/aligned_buffer.h"
+
+using namespace aalign;
+using namespace aalign::simd;
+
+namespace {
+
+template <class Ops>
+void bench_wgt_max_scan(benchmark::State& state) {
+  using T = typename Ops::value_type;
+  const int m = static_cast<int>(state.range(0));
+  const int W = Ops::kWidth;
+  const int segs = (m + W - 1) / W;
+  const int mpad = segs * W;
+
+  util::AlignedBuffer<T> in(mpad), out(mpad);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<int> d(-50, 80);
+  for (int i = 0; i < mpad; ++i) in[i] = static_cast<T>(d(rng));
+
+  for (auto _ : state) {
+    Modules<Ops>::wgt_max_scan(in.data(), out.data(), segs, T{0}, -12, -2);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mpad);
+}
+
+template <class Ops>
+void bench_rshift_x_fill(benchmark::State& state) {
+  using T = typename Ops::value_type;
+  alignas(64) T buf[Ops::kWidth];
+  for (int l = 0; l < Ops::kWidth; ++l) buf[l] = static_cast<T>(l);
+  auto v = Ops::load(buf);
+  for (auto _ : state) {
+    v = aalign::simd::Modules<Ops>::rshift_x_fill(v, 1, T{-1});
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <class Ops>
+void bench_influence_test(benchmark::State& state) {
+  using T = typename Ops::value_type;
+  alignas(64) T a[Ops::kWidth], b[Ops::kWidth];
+  for (int l = 0; l < Ops::kWidth; ++l) {
+    a[l] = static_cast<T>(l);
+    b[l] = static_cast<T>(l + 1);  // never influences: worst case, no exit
+  }
+  const auto va = Ops::load(a);
+  const auto vb = Ops::load(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aalign::simd::Modules<Ops>::influence_test(va, vb));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// The cross-lane shift and the re-computation gate: the two per-column
+// primitives whose ISA-specific instruction selection the paper's Fig. 7
+// and Sec. V-C discuss.
+#define BENCH_PRIM(T, TAG, NAME)                                          \
+  static void RshiftXFill_##NAME(benchmark::State& state) {               \
+    if (!isa_available(isa_kind<TAG##Tag>())) {                          \
+      state.SkipWithError(#TAG " unavailable");                          \
+      return;                                                             \
+    }                                                                     \
+    bench_rshift_x_fill<VecOps<T, TAG##Tag>>(state);                     \
+  }                                                                       \
+  BENCHMARK(RshiftXFill_##NAME);                                         \
+  static void InfluenceTest_##NAME(benchmark::State& state) {             \
+    if (!isa_available(isa_kind<TAG##Tag>())) {                          \
+      state.SkipWithError(#TAG " unavailable");                          \
+      return;                                                             \
+    }                                                                     \
+    bench_influence_test<VecOps<T, TAG##Tag>>(state);                    \
+  }                                                                       \
+  BENCHMARK(InfluenceTest_##NAME);
+
+BENCH_PRIM(std::int32_t, Scalar, scalar_i32)
+#if defined(AALIGN_HAVE_SSE41)
+BENCH_PRIM(std::int16_t, Sse41, sse41_i16)
+#endif
+#if defined(AALIGN_HAVE_AVX2)
+BENCH_PRIM(std::int16_t, Avx2, avx2_i16)
+BENCH_PRIM(std::int32_t, Avx2, avx2_i32)
+#endif
+#if defined(AALIGN_HAVE_AVX512)
+BENCH_PRIM(std::int32_t, Avx512, avx512_i32)
+#endif
+
+// Registration helper: skips silently when the ISA is unavailable.
+#define BENCH_SCAN(T, TAG, NAME)                                          \
+  static void NAME(benchmark::State& state) {                            \
+    if (!isa_available(isa_kind<TAG##Tag>())) {                          \
+      state.SkipWithError(#TAG " unavailable");                          \
+      return;                                                            \
+    }                                                                     \
+    bench_wgt_max_scan<VecOps<T, TAG##Tag>>(state);                      \
+  }                                                                       \
+  BENCHMARK(NAME)->Arg(128)->Arg(1024)->Arg(8192);
+
+BENCH_SCAN(std::int32_t, Scalar, WgtMaxScan_scalar_i32)
+#if defined(AALIGN_HAVE_SSE41)
+BENCH_SCAN(std::int16_t, Sse41, WgtMaxScan_sse41_i16)
+BENCH_SCAN(std::int32_t, Sse41, WgtMaxScan_sse41_i32)
+#endif
+#if defined(AALIGN_HAVE_AVX2)
+BENCH_SCAN(std::int16_t, Avx2, WgtMaxScan_avx2_i16)
+BENCH_SCAN(std::int32_t, Avx2, WgtMaxScan_avx2_i32)
+#endif
+#if defined(AALIGN_HAVE_AVX512)
+BENCH_SCAN(std::int32_t, Avx512, WgtMaxScan_avx512_i32)
+#endif
+
+BENCHMARK_MAIN();

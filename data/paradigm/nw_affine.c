@@ -1,0 +1,20 @@
+/* Needleman-Wunsch with affine gaps in the generalized paradigm: same
+ * recurrences as SW but no 0 in the working-table max, and gapped
+ * boundaries. */
+const int GAP_OPEN = -12;
+const int GAP_EXT = -2;
+
+for (i = 1; i < n + 1; i++) {
+  T[i][0] = GAP_OPEN + (i - 1) * GAP_EXT;
+}
+for (j = 1; j < m + 1; j++) {
+  T[0][j] = GAP_OPEN + (j - 1) * GAP_EXT;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    L[i][j] = max(L[i - 1][j] + GAP_EXT, T[i - 1][j] + GAP_OPEN);
+    U[i][j] = max(U[i][j - 1] + GAP_EXT, T[i][j - 1] + GAP_OPEN);
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(L[i][j], U[i][j], D[i][j]);
+  }
+}

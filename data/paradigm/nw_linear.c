@@ -1,0 +1,17 @@
+/* Needleman-Wunsch with a linear gap system, inline form: the gap arms
+ * appear directly in the working-table max (no L/U tables needed when
+ * theta = 0). */
+const int GAP = -4;
+
+for (i = 1; i < n + 1; i++) {
+  T[i][0] = i * GAP;
+}
+for (j = 1; j < m + 1; j++) {
+  T[0][j] = j * GAP;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(T[i - 1][j] + GAP, T[i][j - 1] + GAP, D[i][j]);
+  }
+}

@@ -1,0 +1,88 @@
+// Fig. 5 reproduction: the hybrid method's view of one alignment.
+//
+// Aligns a query against a subject whose MIDDLE third is a high-identity
+// homolog region (exactly the paper's example: iterate is cheap on the
+// dissimilar head and tail, expensive in the similar middle). Prints the
+// per-column lazy-F re-computation counter and where the hybrid method
+// switches to striped-scan and probes back.
+//
+// Uses the scalar backend's ColumnEngine directly (no ISA flags needed),
+// so the counter trace is the exact signal the production kernels see.
+#include <cstdio>
+#include <vector>
+
+#include "core/column_engine.h"
+#include "core/config.h"
+#include "seq/generator.h"
+#include "seq/pairgen.h"
+#include "simd/vec_scalar.h"
+
+using namespace aalign;
+
+int main() {
+  using Ops = simd::VecOps<std::int32_t, simd::ScalarTag>;
+
+  const auto& matrix = score::ScoreMatrix::blosum62();
+  seq::SequenceGenerator gen(5);
+
+  // Query; subject = random head + similar middle + random tail.
+  const seq::Sequence qseq = gen.protein(600, "Q");
+  const auto query = matrix.alphabet().encode(qseq.residues);
+  seq::Sequence mid_src;
+  mid_src.residues = qseq.residues.substr(150, 300);
+  const seq::Sequence homolog = seq::make_similar_subject(
+      gen, mid_src, {seq::Level::Hi, seq::Level::Hi});
+  const std::string subject_str = gen.protein(400).residues +
+                                  homolog.residues +
+                                  gen.protein(400).residues;
+  const auto subject = matrix.alphabet().encode(subject_str);
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const HybridParams hp;  // calibrated defaults
+
+  score::StripedProfile<std::int32_t> prof;
+  score::build_striped_profile<std::int32_t>(
+      prof, query, matrix, Ops::kWidth, simd::neg_inf<std::int32_t>());
+  core::Workspace<std::int32_t> ws;
+  core::ColumnEngine<Ops, AlignKind::Local, true> eng(
+      prof, core::make_steps<std::int32_t>(cfg), ws);
+
+  const double segs = static_cast<double>(eng.segs());
+  const long n = static_cast<long>(subject.size());
+  std::printf("hybrid trace: |Q|=%zu, subject = 400 random + %zu homologous "
+              "+ 400 random\n",
+              query.size(), homolog.residues.size());
+  std::printf("threshold %.2f passes/col, window %d, probe stride %d\n\n",
+              hp.threshold, hp.window, hp.stride);
+  std::printf("%-12s %-14s %-8s\n", "columns", "passes/col", "mode");
+
+  bool scan_mode = false;
+  long i = 1;
+  while (i <= n) {
+    if (scan_mode) {
+      const long count = std::min<long>(hp.stride, n - i + 1);
+      eng.run_scan_block(i, subject.data(), count);
+      std::printf("%5ld-%-6ld %-14s %-8s\n", i, i + count - 1, "(fixed)",
+                  "SCAN");
+      i += count;
+      scan_mode = false;  // probe
+    } else {
+      const long count = std::min<long>(hp.window, n - i + 1);
+      const auto lazy = eng.run_iterate_block(i, subject.data(), count);
+      const double passes =
+          static_cast<double>(lazy) / (segs * static_cast<double>(count));
+      std::printf("%5ld-%-6ld %-14.3f %-8s%s\n", i, i + count - 1, passes,
+                  "iterate",
+                  passes > hp.threshold ? "  -> switch to scan" : "");
+      i += count;
+      if (passes > hp.threshold) scan_mode = true;
+    }
+  }
+  std::printf("\nfinal local score: %ld\n", eng.finalize());
+  std::printf(
+      "reading: the counter spikes over the homologous middle (the paper's "
+      "Fig. 5 hump) and the hybrid rides scan exactly there.\n");
+  return 0;
+}

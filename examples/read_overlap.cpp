@@ -1,0 +1,78 @@
+// Overlap (dovetail) alignment demo: the assembly-flavoured use case for
+// AlignKind::Overlap. Simulates noisy DNA "reads" drawn from one genome
+// with staggered offsets and detects which pairs dovetail (suffix of one
+// overlapping the prefix of the next) by comparing their overlap score to
+// a random-pair baseline.
+//
+//   $ ./build/examples/read_overlap
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/traceback.h"
+#include "seq/generator.h"
+
+using namespace aalign;
+
+int main() {
+  seq::SequenceGenerator gen(2027);
+  std::mt19937_64 rng(9);
+
+  // A "genome" and four 400 bp reads at staggered 250 bp offsets, each
+  // with 3% substitution noise.
+  const seq::Sequence genome = gen.dna(1400, "genome");
+  const score::ScoreMatrix matrix = score::ScoreMatrix::dna(5, 4);
+  const auto& alphabet = matrix.alphabet();
+
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> base(0, 3);
+  auto make_read = [&](std::size_t offset, std::size_t len,
+                       const std::string& id) {
+    seq::Sequence r;
+    r.id = id;
+    r.residues = genome.residues.substr(offset, len);
+    for (char& c : r.residues) {
+      if (u(rng) < 0.03) c = "ACGT"[base(rng)];
+    }
+    return r;
+  };
+  std::vector<seq::Sequence> reads;
+  for (int k = 0; k < 4; ++k) {
+    reads.push_back(make_read(static_cast<std::size_t>(k) * 250, 400,
+                              "read" + std::to_string(k)));
+  }
+  reads.push_back(gen.dna(400, "decoy"));  // unrelated read
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Overlap;
+  cfg.pen = Penalties::symmetric(10, 4);
+
+  std::printf("dovetail detection over %zu reads (overlap alignment, "
+              "DNA +5/-4, gaps 10/4)\n\n",
+              reads.size());
+  std::printf("%-8s %-8s %8s %9s %9s  %s\n", "A", "B", "score", "A-span",
+              "B-span", "verdict");
+
+  for (std::size_t a = 0; a < reads.size(); ++a) {
+    for (std::size_t b = a + 1; b < reads.size(); ++b) {
+      const auto qa = alphabet.encode(reads[a].residues);
+      const auto qb = alphabet.encode(reads[b].residues);
+      const AlignResult r = align_pair(matrix, cfg, qa, qb);
+      // Overlap length implied by a dovetail: use the traceback spans.
+      const core::Alignment aln =
+          core::align_traceback(matrix, cfg, qa, qb);
+      const bool hit = r.score > 120;  // ~>60 matching bases net
+      std::printf("%-8s %-8s %8ld %4zu-%-4zu %4zu-%-4zu  %s\n",
+                  reads[a].id.c_str(), reads[b].id.c_str(), r.score,
+                  aln.query_begin, aln.query_end, aln.subject_begin,
+                  aln.subject_end, hit ? "DOVETAIL" : "-");
+    }
+  }
+  std::printf(
+      "\nexpected: consecutive reads (read0-read1, read1-read2, ...) share "
+      "~150 bp and score high; skip-one pairs share nothing; the decoy "
+      "matches no one.\n");
+  return 0;
+}

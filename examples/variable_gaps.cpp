@@ -1,0 +1,89 @@
+// Variable gap penalties - the paper's stated future work (Sec. V-D:
+// "present framework only supports constant gap penalties... variable
+// penalties used in, for example, the dynamic time warping algorithm").
+//
+// The generalized paradigm (Eq. 2) already allows theta/beta to vary per
+// position; this example exercises the library's variable-penalty
+// reference path on a DTW-flavoured task: aligning two noisy step
+// patterns where gaps are cheap in "flat" regions and expensive at
+// "edges" (positions where the signal changes), so the alignment prefers
+// to absorb time-warp in plateaus.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sequential.h"
+#include "score/matrices.h"
+
+using namespace aalign;
+
+namespace {
+
+// Quantize a step signal into DNA-letter levels (A/C/G/T = 4 levels).
+std::string quantize(const std::vector<int>& signal) {
+  std::string s;
+  for (int v : signal) s.push_back("ACGT"[v & 3]);
+  return s;
+}
+
+// Edge-aware gap costs: opening a gap where the signal changes is 5x the
+// plateau cost.
+void edge_penalties(const std::vector<int>& signal, std::vector<int>& open,
+                    std::vector<int>& ext) {
+  const std::size_t n = signal.size();
+  open.assign(n, 2);
+  ext.assign(n, 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (signal[i] != signal[i - 1]) {
+      open[i] = 10;
+      open[i - 1] = 10;
+    }
+  }
+}
+
+std::vector<int> make_steps(const std::vector<std::pair<int, int>>& plan) {
+  std::vector<int> out;
+  for (auto [level, len] : plan) out.insert(out.end(), len, level);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Same step pattern, different plateau durations (a time-warped pair).
+  const std::vector<int> a =
+      make_steps({{0, 8}, {2, 12}, {1, 6}, {3, 10}, {0, 9}});
+  const std::vector<int> b =
+      make_steps({{0, 12}, {2, 7}, {1, 11}, {3, 6}, {0, 13}});
+
+  const score::ScoreMatrix matrix = score::ScoreMatrix::dna(4, 3);
+  const auto& alphabet = matrix.alphabet();
+  const auto qa = alphabet.encode(quantize(a));
+  const auto qb = alphabet.encode(quantize(b));
+
+  std::printf("variable-gap alignment demo (DTW-style), |A|=%zu |B|=%zu\n\n",
+              qa.size(), qb.size());
+
+  // Constant penalties for contrast.
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Global;
+  cfg.pen = Penalties::symmetric(6, 1);
+  const long const_score = core::align_sequential(matrix, cfg, qa, qb);
+  std::printf("constant gaps (open 6 / ext 1): global score %ld\n",
+              const_score);
+
+  // Position-dependent penalties: cheap in plateaus, expensive at edges.
+  std::vector<int> open_a, ext_a, open_b, ext_b;
+  edge_penalties(a, open_a, ext_a);
+  edge_penalties(b, open_b, ext_b);
+  const long var_score = core::align_sequential_vargap(
+      matrix, AlignKind::Global, qa, qb, open_a, ext_a, open_b, ext_b);
+  std::printf("edge-aware gaps (2/1 plateau, 10/1 edge): global score %ld\n",
+              var_score);
+
+  std::printf(
+      "\nthe edge-aware score is higher: the warp is absorbed inside "
+      "plateaus where gaps are cheap, instead of being charged a flat "
+      "rate everywhere.\n");
+  return var_score >= const_score ? 0 : 1;
+}

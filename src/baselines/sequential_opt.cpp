@@ -1,0 +1,92 @@
+#include "baselines/sequential_opt.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+
+namespace aalign::baselines {
+
+namespace {
+constexpr std::int32_t kNegInf = INT32_MIN / 2;
+}
+
+long align_sequential_opt(const score::ScoreMatrix& matrix,
+                          const AlignConfig& cfg,
+                          std::span<const std::uint8_t> query,
+                          std::span<const std::uint8_t> subject) {
+  cfg.validate();
+  const int m = static_cast<int>(query.size());
+  const int n = static_cast<int>(subject.size());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("align_sequential_opt: empty sequence");
+  }
+
+  const std::int32_t first_u = -(cfg.pen.query.open + cfg.pen.query.extend);
+  const std::int32_t ext_u = -cfg.pen.query.extend;
+  const std::int32_t first_l =
+      -(cfg.pen.subject.open + cfg.pen.subject.extend);
+  const std::int32_t ext_l = -cfg.pen.subject.extend;
+  const bool local = cfg.kind == AlignKind::Local;
+  const bool global = cfg.kind == AlignKind::Global;
+  const bool row_free = kind_row_free(cfg.kind);
+  const bool col_free = kind_col_free(cfg.kind);
+  const bool end_row_free = kind_end_row_free(cfg.kind);
+  const bool end_col_free = kind_end_col_free(cfg.kind);
+
+  // Flat per-row substitution pointer: one indexed load per cell, exactly
+  // like the kernels' profile rows.
+  const int alpha = matrix.size();
+  std::vector<std::int32_t> sub(static_cast<std::size_t>(alpha) * m);
+  for (int a = 0; a < alpha; ++a) {
+    for (int j = 0; j < m; ++j) {
+      sub[static_cast<std::size_t>(a) * m + j] = matrix.at(a, query[j]);
+    }
+  }
+
+  util::AlignedBuffer<std::int32_t> hbuf(m + 1), ebuf(m + 1);
+  std::int32_t* __restrict__ h = hbuf.data();
+  std::int32_t* __restrict__ e = ebuf.data();
+
+  h[0] = 0;
+  for (int j = 1; j <= m; ++j) {
+    h[j] = row_free ? 0 : first_u + (j - 1) * ext_u;
+    e[j] = kNegInf;
+  }
+  e[0] = kNegInf;
+
+  std::int32_t best = local ? 0 : kNegInf;
+  if (end_row_free) best = h[m];
+
+  for (int i = 1; i <= n; ++i) {
+    const std::int32_t* __restrict__ row =
+        sub.data() + static_cast<std::size_t>(subject[i - 1]) * m;
+    std::int32_t diag = h[0];
+    h[0] = col_free ? 0 : first_l + (i - 1) * ext_l;
+    std::int32_t f = kNegInf;
+#pragma GCC ivdep
+    for (int j = 1; j <= m; ++j) {
+      const std::int32_t ecur = std::max(e[j] + ext_l, h[j] + first_l);
+      f = std::max(f + ext_u, h[j - 1] + first_u);
+      std::int32_t cell = diag + row[j - 1];
+      cell = std::max(cell, ecur);
+      cell = std::max(cell, f);
+      if (local) {
+        cell = std::max(cell, 0);
+        best = std::max(best, cell);
+      }
+      diag = h[j];
+      e[j] = ecur;
+      h[j] = cell;
+    }
+    if (end_row_free) best = std::max(best, h[m]);
+  }
+  if (global) best = h[m];
+  if (end_col_free) {
+    for (int j = 0; j <= m; ++j) best = std::max(best, h[j]);
+  }
+  return best;
+}
+
+}  // namespace aalign::baselines

@@ -1,0 +1,23 @@
+// Optimized sequential baseline (the denominator of Fig. 9).
+//
+// Same recurrences as the AAlign kernels, int32 arithmetic, double-buffered
+// O(m) working set, restrict-qualified inner loop - i.e. "the sequential
+// codes following the same logic as the vector codes" that the paper
+// compares against (with `#pragma vector always`, which cannot vectorize
+// the loop because of the F-chain dependency; that is the point).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.h"
+#include "score/matrices.h"
+
+namespace aalign::baselines {
+
+long align_sequential_opt(const score::ScoreMatrix& matrix,
+                          const AlignConfig& cfg,
+                          std::span<const std::uint8_t> query,
+                          std::span<const std::uint8_t> subject);
+
+}  // namespace aalign::baselines

@@ -1,0 +1,35 @@
+#include "baselines/swaphi_like.h"
+
+namespace aalign::baselines {
+
+namespace {
+
+search::SearchOptions make_options(std::optional<simd::IsaKind> isa,
+                                   int threads) {
+  search::SearchOptions opt;
+  opt.threads = threads;
+  opt.query.strategy = Strategy::StripedIterate;
+  opt.query.isa = isa.value_or(simd::best_available_isa());
+  opt.query.width = ScoreWidth::W32;
+  return opt;
+}
+
+AlignConfig make_config(Penalties pen) {
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = pen;
+  return cfg;
+}
+
+}  // namespace
+
+SwaphiLike::SwaphiLike(const score::ScoreMatrix& matrix, Penalties pen,
+                       std::optional<simd::IsaKind> isa, int threads)
+    : impl_(matrix, make_config(pen), make_options(isa, threads)) {}
+
+search::SearchResult SwaphiLike::search(std::span<const std::uint8_t> query,
+                                        seq::Database& db) const {
+  return impl_.search(query, db);
+}
+
+}  // namespace aalign::baselines

@@ -1,0 +1,27 @@
+// SWAPHI-style comparator (Liu & Schmidt 2014) for the Fig. 11b
+// experiment: the intra-sequence, 32-bit-int configuration on the 512-bit
+// backend (the paper evaluates exactly this SWAPHI mode on the Xeon Phi).
+// Striped-iterate only - SWAPHI has no scan or hybrid path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "search/database_search.h"
+
+namespace aalign::baselines {
+
+class SwaphiLike {
+ public:
+  SwaphiLike(const score::ScoreMatrix& matrix, Penalties pen,
+             std::optional<simd::IsaKind> isa = {}, int threads = 0);
+
+  search::SearchResult search(std::span<const std::uint8_t> query,
+                              seq::Database& db) const;
+
+ private:
+  search::DatabaseSearch impl_;
+};
+
+}  // namespace aalign::baselines

@@ -1,0 +1,140 @@
+#include "baselines/wavefront.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/aligned_buffer.h"
+
+namespace aalign::baselines {
+
+namespace {
+constexpr std::int32_t kNegInf = INT32_MIN / 4;
+}
+
+KernelResult align_wavefront(const score::ScoreMatrix& matrix,
+                             const AlignConfig& cfg,
+                             std::span<const std::uint8_t> query,
+                             std::span<const std::uint8_t> subject) {
+  cfg.validate();
+  const long m = static_cast<long>(query.size());
+  const long n = static_cast<long>(subject.size());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("align_wavefront: empty sequence");
+  }
+
+  const std::int32_t first_u = -(cfg.pen.query.open + cfg.pen.query.extend);
+  const std::int32_t ext_u = -cfg.pen.query.extend;
+  const std::int32_t first_l =
+      -(cfg.pen.subject.open + cfg.pen.subject.extend);
+  const std::int32_t ext_l = -cfg.pen.subject.extend;
+  const bool local = cfg.kind == AlignKind::Local;
+  const bool global = cfg.kind == AlignKind::Global;
+  const bool row_free = kind_row_free(cfg.kind);
+  const bool col_free = kind_col_free(cfg.kind);
+  const bool end_row_free = kind_end_row_free(cfg.kind);
+  const bool end_col_free = kind_end_col_free(cfg.kind);
+
+  auto row_init = [&](long j) -> std::int32_t {
+    return row_free ? 0 : first_u + static_cast<std::int32_t>(j - 1) * ext_u;
+  };
+  auto col_init = [&](long i) -> std::int32_t {
+    return col_free ? 0 : first_l + static_cast<std::int32_t>(i - 1) * ext_l;
+  };
+
+  // j-indexed diagonal buffers (position j = query position).
+  const std::size_t len = static_cast<std::size_t>(m) + 2;
+  util::AlignedBuffer<std::int32_t> b_h0(len), b_h1(len), b_h2(len);
+  util::AlignedBuffer<std::int32_t> b_e(len), b_f0(len), b_f1(len);
+  util::AlignedBuffer<std::int32_t> b_sub(len);
+  b_h0.fill(kNegInf);
+  b_h1.fill(kNegInf);
+  b_h2.fill(kNegInf);
+  b_e.fill(kNegInf);
+  b_f0.fill(kNegInf);
+  b_f1.fill(kNegInf);
+  std::int32_t* h0 = b_h0.data();  // diagonal d-2
+  std::int32_t* h1 = b_h1.data();  // diagonal d-1
+  std::int32_t* h2 = b_h2.data();  // diagonal d (write target)
+  std::int32_t* e = b_e.data();    // E on diagonal d-1 (updated in place)
+  std::int32_t* f0 = b_f0.data();  // F on diagonal d-1
+  std::int32_t* f1 = b_f1.data();  // F on diagonal d (write target)
+  std::int32_t* sub = b_sub.data();
+
+  // Diagonals 0 and 1.
+  h0[0] = 0;
+  h1[0] = col_init(1);
+  if (m >= 1) h1[1] = row_init(1);
+
+  std::int32_t best = local ? 0 : kNegInf;
+  if (end_row_free) best = row_init(m);  // H(0, m) is a valid endpoint
+
+  for (long d = 2; d <= m + n; ++d) {
+    const long jlo = std::max(1L, d - n);
+    const long jhi = std::min(m, d - 1);
+
+    // Scalar substitution lookups: query and subject indices run in
+    // opposite directions along the diagonal, so no profile row applies -
+    // the layout's classic handicap.
+    for (long j = jlo; j <= jhi; ++j) {
+      sub[j] = matrix.at(subject[d - j - 1], query[j - 1]);
+    }
+
+    // The dependency-free sweep: every term reads diagonals d-1/d-2 only,
+    // so the compiler is free to vectorize.
+    if (local) {
+      std::int32_t diag_best = 0;
+#pragma GCC ivdep
+      for (long j = jlo; j <= jhi; ++j) {
+        const std::int32_t ecur =
+            std::max(e[j] + ext_l, h1[j] + first_l);
+        const std::int32_t fcur =
+            std::max(f0[j - 1] + ext_u, h1[j - 1] + first_u);
+        std::int32_t cell = h0[j - 1] + sub[j];
+        cell = std::max(cell, ecur);
+        cell = std::max(cell, fcur);
+        cell = std::max(cell, 0);
+        e[j] = ecur;
+        f1[j] = fcur;
+        h2[j] = cell;
+        diag_best = std::max(diag_best, cell);
+      }
+      best = std::max(best, diag_best);
+    } else {
+#pragma GCC ivdep
+      for (long j = jlo; j <= jhi; ++j) {
+        const std::int32_t ecur =
+            std::max(e[j] + ext_l, h1[j] + first_l);
+        const std::int32_t fcur =
+            std::max(f0[j - 1] + ext_u, h1[j - 1] + first_u);
+        std::int32_t cell = h0[j - 1] + sub[j];
+        cell = std::max(cell, ecur);
+        cell = std::max(cell, fcur);
+        e[j] = ecur;
+        f1[j] = fcur;
+        h2[j] = cell;
+      }
+    }
+
+    // Boundary cells of diagonal d, read by the next two diagonals.
+    if (d <= n) h2[0] = col_init(d);
+    if (d <= m) h2[d] = row_init(d);
+    if (end_row_free && jhi == m) best = std::max(best, h2[m]);
+    if (end_col_free && jlo == d - n) best = std::max(best, h2[jlo]);
+
+    std::swap(h0, h1);  // d-1 becomes d-2
+    std::swap(h1, h2);  // d becomes d-1
+    std::swap(f0, f1);
+  }
+
+  KernelResult res;
+  res.stats.columns = static_cast<std::uint64_t>(n);
+  if (global) {
+    res.score = h1[m];  // after the final swap, h1 holds diagonal m+n
+  } else {
+    if (end_col_free) best = std::max(best, col_init(n));  // H(n, 0)
+    res.score = best;
+  }
+  return res;
+}
+
+}  // namespace aalign::baselines

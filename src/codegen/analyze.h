@@ -1,0 +1,40 @@
+// Semantic analysis: extracts the Table II parameters from a parsed
+// paradigm-shaped kernel (paper Sec. V-D, steps 1-4):
+//   1. local vs global - is there a literal 0 among the T-max operands?
+//   2. linear vs affine - do gap-open and gap-extend constants differ?
+//   3. boundary initialization - checked against the detected kind
+//   4. vector organisation - derived (handled by the kernel templates)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/parser.h"
+#include "core/config.h"
+
+namespace aalign::codegen {
+
+struct KernelSpec {
+  AlignKind kind = AlignKind::Local;
+  GapModel gap = GapModel::Affine;
+  // Positive penalties, paper convention: GAP_* constants in the source
+  // are the ADDITIVE (negative) theta+beta / beta values.
+  int open_query = 0, ext_query = 0;      // U recurrence (inner loop axis)
+  int open_subject = 0, ext_subject = 0;  // L recurrence (outer loop axis)
+  std::string matrix;       // substitution table identifier, e.g. BLOSUM62
+  std::string table;        // the working-set table (T)
+  std::string query_seq;    // sequence indexed along the inner loop
+  std::string subject_seq;  // sequence indexed along the outer loop
+  std::vector<std::string> warnings;
+
+  AlignConfig to_config() const;
+  std::string summary() const;
+};
+
+// Throws CodegenError when the program does not follow the paradigm.
+KernelSpec analyze(const Program& program);
+
+// Convenience: parse + analyze.
+KernelSpec analyze_source(const std::string& source);
+
+}  // namespace aalign::codegen

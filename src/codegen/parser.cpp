@@ -1,0 +1,346 @@
+#include "codegen/parser.h"
+
+namespace aalign::codegen {
+
+bool Expr::is_cell(const std::string& table, long di, long dj) const {
+  return kind == Kind::Cell && name == table && index.size() == 2 &&
+         index[0].seq.empty() && index[1].seq.empty() && index[0].off == di &&
+         index[1].off == dj;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program run() {
+    Program p;
+    while (peek().kind != Tok::End) {
+      if (peek_ident("const")) {
+        parse_const(p);
+      } else if (peek_ident("for")) {
+        p.loops.push_back(parse_for());
+      } else {
+        p.top_assigns.push_back(parse_assign());
+      }
+    }
+    return p;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool peek_ident(const char* text, int ahead = 0) const {
+    return peek(ahead).kind == Tok::Ident && peek(ahead).text == text;
+  }
+  const Token& next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  const Token& expect(Tok kind, const char* what) {
+    if (peek().kind != kind) {
+      throw CodegenError(std::string("expected ") + tok_name(kind) +
+                             " while parsing " + what + ", found " +
+                             tok_name(peek().kind),
+                         peek().line, peek().col);
+    }
+    return next();
+  }
+  std::string expect_ident(const char* what) {
+    return expect(Tok::Ident, what).text;
+  }
+
+  void parse_const(Program& p) {
+    next();  // const
+    if (!peek_ident("int")) {
+      throw CodegenError("expected 'int' after 'const'", peek().line,
+                         peek().col);
+    }
+    next();
+    const std::string name = expect_ident("const declaration");
+    expect(Tok::Assign, "const declaration");
+    const long value = parse_const_value(p);
+    expect(Tok::Semi, "const declaration");
+    p.consts[name] = value;
+  }
+
+  long parse_const_value(const Program& p) {
+    long sign = 1;
+    while (peek().kind == Tok::Minus) {
+      next();
+      sign = -sign;
+    }
+    if (peek().kind == Tok::Number) return sign * next().value;
+    if (peek().kind == Tok::Ident) {
+      const Token& t = next();
+      auto it = p.consts.find(t.text);
+      if (it == p.consts.end()) {
+        throw CodegenError("unknown constant '" + t.text + "'", t.line, t.col);
+      }
+      return sign * it->second;
+    }
+    throw CodegenError("expected constant value", peek().line, peek().col);
+  }
+
+  ForLoop parse_for() {
+    ForLoop f;
+    f.line = peek().line;
+    next();  // for
+    expect(Tok::LParen, "for loop");
+    f.var = expect_ident("for-loop init");
+    expect(Tok::Assign, "for-loop init");
+    long sign = 1;
+    if (peek().kind == Tok::Minus) {
+      next();
+      sign = -1;
+    }
+    f.from = sign * expect(Tok::Number, "for-loop init").value;
+    expect(Tok::Semi, "for loop");
+
+    const std::string cond_var = expect_ident("for-loop condition");
+    if (cond_var != f.var) {
+      throw CodegenError("for-loop condition must test '" + f.var + "'",
+                         peek().line, peek().col);
+    }
+    if (peek().kind == Tok::LessEq) {
+      f.inclusive = true;
+      next();
+    } else {
+      expect(Tok::Less, "for-loop condition");
+    }
+    if (peek().kind == Tok::Ident) {
+      f.bound_ident = next().text;
+      if (peek().kind == Tok::Plus) {
+        next();
+        f.bound_offset = expect(Tok::Number, "for-loop bound").value;
+      } else if (peek().kind == Tok::Minus) {
+        next();
+        f.bound_offset = -expect(Tok::Number, "for-loop bound").value;
+      }
+    } else {
+      f.bound_offset = expect(Tok::Number, "for-loop bound").value;
+    }
+    expect(Tok::Semi, "for loop");
+    const std::string inc_var = expect_ident("for-loop increment");
+    if (inc_var != f.var) {
+      throw CodegenError("for-loop increment must be '" + f.var + "++'",
+                         peek().line, peek().col);
+    }
+    expect(Tok::PlusPlus, "for-loop increment");
+    expect(Tok::RParen, "for loop");
+
+    parse_stmt_into(f);
+    return f;
+  }
+
+  void parse_stmt_into(ForLoop& f) {
+    if (peek().kind == Tok::LBrace) {
+      next();
+      while (peek().kind != Tok::RBrace) {
+        if (peek().kind == Tok::End) {
+          throw CodegenError("unterminated '{'", peek().line, peek().col);
+        }
+        parse_one_stmt(f);
+      }
+      next();
+    } else {
+      parse_one_stmt(f);
+    }
+  }
+
+  void parse_one_stmt(ForLoop& f) {
+    if (peek_ident("for")) {
+      f.loops.push_back(parse_for());
+    } else {
+      f.assigns.push_back(parse_assign());
+    }
+  }
+
+  Assign parse_assign() {
+    Assign a;
+    a.line = peek().line;
+    a.targets.push_back(parse_cell());
+    expect(Tok::Assign, "assignment");
+    // Chained targets: T[0][i] = U[0][i] = 0;
+    while (true) {
+      const std::size_t save = pos_;
+      if (peek().kind == Tok::Ident && peek(1).kind == Tok::LBracket) {
+        try {
+          Expr cell = parse_cell();
+          if (peek().kind == Tok::Assign) {
+            next();
+            a.targets.push_back(std::move(cell));
+            continue;
+          }
+        } catch (const CodegenError&) {
+          // fall through to expression parse
+        }
+        pos_ = save;
+      }
+      break;
+    }
+    a.value = parse_expr();
+    expect(Tok::Semi, "assignment");
+    return a;
+  }
+
+  Expr parse_expr() {
+    if (peek_ident("max")) return parse_max();
+    return parse_add();
+  }
+
+  Expr parse_max() {
+    Expr e;
+    e.kind = Expr::Kind::Max;
+    next();  // max
+    expect(Tok::LParen, "max()");
+    e.args.push_back(parse_expr());
+    while (peek().kind == Tok::Comma) {
+      next();
+      e.args.push_back(parse_expr());
+    }
+    expect(Tok::RParen, "max()");
+    return e;
+  }
+
+  Expr parse_add() {
+    Expr lhs = parse_term();
+    while (peek().kind == Tok::Plus || peek().kind == Tok::Minus) {
+      const bool minus = next().kind == Tok::Minus;
+      Expr rhs = parse_term();
+      if (minus) {
+        Expr neg;
+        neg.kind = Expr::Kind::Neg;
+        neg.args.push_back(std::move(rhs));
+        rhs = std::move(neg);
+      }
+      if (lhs.kind == Expr::Kind::Add) {
+        lhs.args.push_back(std::move(rhs));
+      } else {
+        Expr add;
+        add.kind = Expr::Kind::Add;
+        add.args.push_back(std::move(lhs));
+        add.args.push_back(std::move(rhs));
+        lhs = std::move(add);
+      }
+    }
+    return lhs;
+  }
+
+  Expr parse_term() {
+    Expr lhs = parse_factor();
+    while (peek().kind == Tok::Star) {
+      next();
+      Expr rhs = parse_factor();
+      Expr mul;
+      mul.kind = Expr::Kind::Mul;
+      mul.args.push_back(std::move(lhs));
+      mul.args.push_back(std::move(rhs));
+      lhs = std::move(mul);
+    }
+    return lhs;
+  }
+
+  Expr parse_factor() {
+    if (peek().kind == Tok::Minus) {
+      next();
+      Expr neg;
+      neg.kind = Expr::Kind::Neg;
+      neg.args.push_back(parse_factor());
+      return neg;
+    }
+    if (peek().kind == Tok::Number) {
+      Expr e;
+      e.kind = Expr::Kind::Number;
+      e.number = next().value;
+      return e;
+    }
+    if (peek().kind == Tok::Ident) {
+      if (peek_ident("max")) return parse_max();
+      if (peek(1).kind == Tok::LBracket) return parse_cell();
+      Expr e;
+      e.kind = Expr::Kind::ConstRef;
+      e.name = next().text;
+      return e;
+    }
+    if (peek().kind == Tok::LParen) {
+      next();
+      Expr e = parse_expr();
+      expect(Tok::RParen, "parenthesized expression");
+      return e;
+    }
+    throw CodegenError("expected expression", peek().line, peek().col);
+  }
+
+  Expr parse_cell() {
+    Expr e;
+    e.kind = Expr::Kind::Cell;
+    e.name = expect_ident("table reference");
+    expect(Tok::LBracket, "subscript");
+    e.index.push_back(parse_index());
+    expect(Tok::RBracket, "subscript");
+    while (peek().kind == Tok::LBracket) {
+      next();
+      e.index.push_back(parse_index());
+      expect(Tok::RBracket, "subscript");
+    }
+    return e;
+  }
+
+  IndexRef parse_index() {
+    IndexRef ix;
+    // ctoi(Q[i-1]) style wrapped lookup.
+    if (peek_ident("ctoi")) {
+      next();
+      expect(Tok::LParen, "ctoi()");
+      ix.seq = expect_ident("ctoi() sequence");
+      expect(Tok::LBracket, "ctoi() subscript");
+      const IndexRef inner = parse_index();
+      ix.var = inner.var;
+      ix.off = inner.off;
+      expect(Tok::RBracket, "ctoi() subscript");
+      expect(Tok::RParen, "ctoi()");
+      return ix;
+    }
+    // var [+/- const] | const
+    bool saw_any = false;
+    while (true) {
+      if (peek().kind == Tok::Ident && ix.var.empty()) {
+        ix.var = next().text;
+        saw_any = true;
+      } else if (peek().kind == Tok::Number) {
+        ix.off += next().value;
+        saw_any = true;
+      } else if (peek().kind == Tok::Plus) {
+        next();
+        continue;
+      } else if (peek().kind == Tok::Minus) {
+        next();
+        if (peek().kind != Tok::Number) {
+          throw CodegenError("expected number after '-' in subscript",
+                             peek().line, peek().col);
+        }
+        ix.off -= next().value;
+        saw_any = true;
+      } else {
+        break;
+      }
+      if (peek().kind != Tok::Plus && peek().kind != Tok::Minus) break;
+    }
+    if (!saw_any) {
+      throw CodegenError("empty subscript", peek().line, peek().col);
+    }
+    return ix;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace aalign::codegen

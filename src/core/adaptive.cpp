@@ -1,0 +1,26 @@
+#include "core/adaptive.h"
+
+#include <stdexcept>
+
+namespace aalign::core {
+
+ScoreWidth choose_start_width(const AlignConfig& cfg,
+                              const score::ScoreMatrix& matrix,
+                              std::size_t query_len, std::size_t subject_len,
+                              const std::vector<ScoreWidth>& supported) {
+  if (supported.empty()) {
+    throw std::logic_error("choose_start_width: no supported widths");
+  }
+  ScoreWidth need = ScoreWidth::W8;
+  if (cfg.kind != AlignKind::Local) {
+    need = min_safe_width(cfg, matrix, query_len, subject_len);
+  }
+  for (ScoreWidth w : supported) {
+    if (w >= need) return w;
+  }
+  // Nothing wide enough: use the widest we have; the kernel's saturation
+  // flag will surface the limitation.
+  return supported.back();
+}
+
+}  // namespace aalign::core

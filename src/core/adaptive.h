@@ -1,0 +1,21 @@
+// Adaptive score-width selection: pick the narrowest width worth trying
+// first, given what is knowable before running the kernel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.h"
+
+namespace aalign::core {
+
+// For local alignment the final score is input-dependent, so the narrowest
+// supported width is always worth an optimistic first try (saturation
+// triggers promotion). For global/semiglobal the gapped boundaries alone
+// can overflow a narrow type, which min_safe_width() rules out up front.
+ScoreWidth choose_start_width(const AlignConfig& cfg,
+                              const score::ScoreMatrix& matrix,
+                              std::size_t query_len, std::size_t subject_len,
+                              const std::vector<ScoreWidth>& supported);
+
+}  // namespace aalign::core

@@ -1,0 +1,46 @@
+// Factory declarations for the per-backend engine singletons. Each is
+// defined in the matching kernels_<isa>.cpp, compiled with that ISA's
+// flags; dispatch.cpp wires them into the runtime registry.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "core/inter_engine.h"
+
+namespace aalign::core {
+
+const Engine<std::int8_t>* engine_scalar_i8();
+const Engine<std::int16_t>* engine_scalar_i16();
+const Engine<std::int32_t>* engine_scalar_i32();
+const InterEngine* inter_engine_scalar();
+
+#if defined(AALIGN_HAVE_SSE41)
+const Engine<std::int8_t>* engine_sse41_i8();
+const Engine<std::int16_t>* engine_sse41_i16();
+const Engine<std::int32_t>* engine_sse41_i32();
+const InterEngine* inter_engine_sse41();
+#endif
+
+#if defined(AALIGN_HAVE_AVX2)
+const Engine<std::int8_t>* engine_avx2_i8();
+const Engine<std::int16_t>* engine_avx2_i16();
+const Engine<std::int32_t>* engine_avx2_i32();
+const InterEngine* inter_engine_avx2();
+#endif
+
+#if defined(AALIGN_HAVE_AVX512)
+// 32-bit only: mirrors the paper's IMCI restriction (Sec. II-A).
+const Engine<std::int32_t>* engine_avx512_i32();
+const InterEngine* inter_engine_avx512();
+#endif
+
+#if defined(AALIGN_HAVE_AVX512BW)
+// Extended 512-bit backend (BW+VBMI): all three lane widths.
+const Engine<std::int8_t>* engine_avx512bw_i8();
+const Engine<std::int16_t>* engine_avx512bw_i16();
+const Engine<std::int32_t>* engine_avx512bw_i32();
+const InterEngine* inter_engine_avx512bw();
+#endif
+
+}  // namespace aalign::core

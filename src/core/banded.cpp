@@ -1,0 +1,104 @@
+#include "core/banded.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace aalign::core {
+
+namespace {
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+}
+
+long align_banded_global(const score::ScoreMatrix& matrix,
+                         const Penalties& pen,
+                         std::span<const std::uint8_t> query,
+                         std::span<const std::uint8_t> subject, long band) {
+  const long m = static_cast<long>(query.size());
+  const long n = static_cast<long>(subject.size());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("align_banded_global: empty sequence");
+  }
+  if (band < std::labs(m - n)) {
+    throw std::invalid_argument(
+        "align_banded_global: band must be >= |m - n| to reach the corner");
+  }
+
+  const long first_u = -(pen.query.open + pen.query.extend);
+  const long ext_u = -pen.query.extend;
+  const long first_l = -(pen.subject.open + pen.subject.extend);
+  const long ext_l = -pen.subject.extend;
+
+  std::vector<long> h(m + 1, kNegInf), e(m + 1, kNegInf);
+  h[0] = 0;
+  for (long j = 1; j <= std::min(m, band); ++j) {
+    h[j] = first_u + (j - 1) * ext_u;
+  }
+
+  for (long i = 1; i <= n; ++i) {
+    const long lo = std::max(1L, i - band);
+    const long hi = std::min(m, i + band);
+    // Diagonal carry enters at j = lo: needs H(i-1, lo-1).
+    long diag = (lo == 1) ? ((i == 1)   ? 0
+                             : (i - 1 <= band)
+                                 ? first_l + (i - 2) * ext_l
+                                 : kNegInf)
+                          : h[lo - 1];
+    // Column boundary H(i, 0) exists only while in band.
+    const long h0 = (i <= band) ? first_l + (i - 1) * ext_l : kNegInf;
+    long f = kNegInf;
+    long hleft = h0;
+    if (lo > 1) {
+      // The band's lower edge: no in-band left neighbor below lo.
+      hleft = kNegInf;
+      h[lo - 1] = kNegInf;  // invalidate the cell that just left the band
+    }
+    const std::uint8_t sc = subject[i - 1];
+    for (long j = lo; j <= hi; ++j) {
+      const long ecur = std::max(e[j] + ext_l, h[j] + first_l);
+      f = std::max(f + ext_u, hleft + first_u);
+      long cell = diag + matrix.at(sc, query[j - 1]);
+      cell = std::max({cell, ecur, f});
+      if (cell < kNegInf) cell = kNegInf;
+      diag = h[j];
+      e[j] = ecur;
+      h[j] = cell;
+      hleft = cell;
+    }
+  }
+  return h[m];
+}
+
+long band_exit_bound(const score::ScoreMatrix& matrix, const Penalties& pen,
+                     std::size_t query_len, std::size_t subject_len,
+                     long band) {
+  const long m = static_cast<long>(query_len);
+  const long n = static_cast<long>(subject_len);
+  const long min_gap_chars = 2 * (band + 1) - std::labs(m - n);
+  const long min_ext = std::min(pen.query.extend, pen.subject.extend);
+  const long min_open = std::min(pen.query.open, pen.subject.open);
+  const long max_match = std::min(m, n) * std::max(0, matrix.max_score());
+  return max_match - (2 * min_open + min_gap_chars * min_ext);
+}
+
+long align_banded_global_auto(const score::ScoreMatrix& matrix,
+                              const Penalties& pen,
+                              std::span<const std::uint8_t> query,
+                              std::span<const std::uint8_t> subject) {
+  const long m = static_cast<long>(query.size());
+  const long n = static_cast<long>(subject.size());
+  long band = std::max(16L, std::labs(m - n) + 8);
+  while (true) {
+    const long score = align_banded_global(matrix, pen, query, subject, band);
+    if (band >= std::max(m, n)) return score;  // full matrix covered
+    if (score > band_exit_bound(matrix, pen, query.size(), subject.size(),
+                                band)) {
+      return score;  // provably no band-exiting path can do better
+    }
+    band *= 2;
+  }
+}
+
+}  // namespace aalign::core

@@ -1,0 +1,41 @@
+// Banded global alignment: restrict the DP to the diagonal band
+// |j - i| <= band. O(band * n) time - the standard tool for long, similar
+// sequences (the paper's future-work "long sequences" workload),
+// complementing the kernels which always fill the full matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.h"
+#include "score/matrices.h"
+
+namespace aalign::core {
+
+// Global alignment within the band. Cells outside the band are -inf, so
+// the result is a lower bound on the unbanded score, exact once the band
+// contains the optimal path. Requires band >= |m - n| (the corner cell
+// must be reachable); throws otherwise.
+long align_banded_global(const score::ScoreMatrix& matrix,
+                         const Penalties& pen,
+                         std::span<const std::uint8_t> query,
+                         std::span<const std::uint8_t> subject, long band);
+
+// Best score any band-EXITING path could possibly achieve: a path that
+// leaves the band needs total gap length >= 2(band+1) - |m-n|, which
+// bounds its score from above. When a banded score beats this bound, the
+// banded result is provably the exact global optimum.
+long band_exit_bound(const score::ScoreMatrix& matrix, const Penalties& pen,
+                     std::size_t query_len, std::size_t subject_len,
+                     long band);
+
+// Doubles the band until the banded score provably dominates every
+// band-exiting path (or the band covers the whole matrix): exact global
+// score in O(band* x n), where band* adapts to how similar the inputs
+// really are.
+long align_banded_global_auto(const score::ScoreMatrix& matrix,
+                              const Penalties& pen,
+                              std::span<const std::uint8_t> query,
+                              std::span<const std::uint8_t> subject);
+
+}  // namespace aalign::core

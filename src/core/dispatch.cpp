@@ -1,0 +1,135 @@
+// Runtime kernel dispatch: (IsaKind, score type) -> Engine singleton,
+// guarded by compile-time availability and cpuid.
+#include "core/backends.h"
+#include "core/engine.h"
+
+namespace aalign::core {
+
+template <>
+const Engine<std::int8_t>* get_engine<std::int8_t>(simd::IsaKind isa) {
+  if (!simd::isa_available(isa)) return nullptr;
+  switch (isa) {
+    case simd::IsaKind::Scalar:
+      return engine_scalar_i8();
+    case simd::IsaKind::Sse41:
+#if defined(AALIGN_HAVE_SSE41)
+      return engine_sse41_i8();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx2:
+#if defined(AALIGN_HAVE_AVX2)
+      return engine_avx2_i8();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512:
+      return nullptr;  // IMCI profile: no 8-bit lanes
+    case simd::IsaKind::Avx512Bw:
+#if defined(AALIGN_HAVE_AVX512BW)
+      return engine_avx512bw_i8();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+template <>
+const Engine<std::int16_t>* get_engine<std::int16_t>(simd::IsaKind isa) {
+  if (!simd::isa_available(isa)) return nullptr;
+  switch (isa) {
+    case simd::IsaKind::Scalar:
+      return engine_scalar_i16();
+    case simd::IsaKind::Sse41:
+#if defined(AALIGN_HAVE_SSE41)
+      return engine_sse41_i16();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx2:
+#if defined(AALIGN_HAVE_AVX2)
+      return engine_avx2_i16();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512:
+      return nullptr;  // IMCI profile: no 16-bit lanes
+    case simd::IsaKind::Avx512Bw:
+#if defined(AALIGN_HAVE_AVX512BW)
+      return engine_avx512bw_i16();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+template <>
+const Engine<std::int32_t>* get_engine<std::int32_t>(simd::IsaKind isa) {
+  if (!simd::isa_available(isa)) return nullptr;
+  switch (isa) {
+    case simd::IsaKind::Scalar:
+      return engine_scalar_i32();
+    case simd::IsaKind::Sse41:
+#if defined(AALIGN_HAVE_SSE41)
+      return engine_sse41_i32();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx2:
+#if defined(AALIGN_HAVE_AVX2)
+      return engine_avx2_i32();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512:
+#if defined(AALIGN_HAVE_AVX512)
+      return engine_avx512_i32();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512Bw:
+#if defined(AALIGN_HAVE_AVX512BW)
+      return engine_avx512bw_i32();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const InterEngine* get_inter_engine(simd::IsaKind isa) {
+  if (!simd::isa_available(isa)) return nullptr;
+  switch (isa) {
+    case simd::IsaKind::Scalar:
+      return inter_engine_scalar();
+    case simd::IsaKind::Sse41:
+#if defined(AALIGN_HAVE_SSE41)
+      return inter_engine_sse41();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx2:
+#if defined(AALIGN_HAVE_AVX2)
+      return inter_engine_avx2();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512:
+#if defined(AALIGN_HAVE_AVX512)
+      return inter_engine_avx512();
+#else
+      return nullptr;
+#endif
+    case simd::IsaKind::Avx512Bw:
+#if defined(AALIGN_HAVE_AVX512BW)
+      return inter_engine_avx512bw();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+}  // namespace aalign::core

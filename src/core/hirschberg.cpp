@@ -1,0 +1,241 @@
+#include "core/hirschberg.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace aalign::core {
+
+namespace {
+
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+
+// Run-length CIGAR builder that merges adjacent runs (so gaps joined across
+// recursion boundaries are scored as single gaps).
+class OpsBuilder {
+ public:
+  void add(char op, long count) {
+    if (count <= 0) return;
+    if (!runs_.empty() && runs_.back().first == op) {
+      runs_.back().second += count;
+    } else {
+      runs_.emplace_back(op, count);
+    }
+  }
+
+  const std::vector<std::pair<char, long>>& runs() const { return runs_; }
+
+ private:
+  std::vector<std::pair<char, long>> runs_;
+};
+
+struct MMContext {
+  const score::ScoreMatrix* matrix;
+  std::span<const std::uint8_t> q;  // query (B in Myers-Miller)
+  std::span<const std::uint8_t> s;  // subject (A; the split axis)
+  long open_q, ext_q;               // positive penalties
+  long open_s, ext_s;
+  OpsBuilder ops;
+  // Reused join buffers, sized once.
+  std::vector<long> cc, dd, rr, ss;
+
+  long wq(long k) const { return k == 0 ? 0 : -(open_q + k * ext_q); }
+};
+
+// Forward half-pass: cc[j] = best score of aligning S[si..si+rows) with
+// Q[qi..qi+j); dd[j] = same but constrained to end in a subject-consuming
+// gap. `tb` is the open penalty charged by a deletion run starting at this
+// block's top boundary (0 when a gap crosses into the block).
+void forward_pass(MMContext& c, long si, long rows, long qi, long qn,
+                  long tb) {
+  c.cc[0] = 0;
+  {
+    long t = -c.open_q;
+    for (long j = 1; j <= qn; ++j) {
+      t -= c.ext_q;
+      c.cc[j] = t;
+      c.dd[j] = t - c.open_s;
+    }
+  }
+  long t = -tb;
+  for (long i = 1; i <= rows; ++i) {
+    long sdiag = c.cc[0];
+    t -= c.ext_s;
+    long cur = t;
+    c.cc[0] = cur;
+    c.dd[0] = cur;
+    long e = t - c.open_q;
+    const std::uint8_t a = c.s[si + i - 1];
+    for (long j = 1; j <= qn; ++j) {
+      e = std::max(e, cur - c.open_q) - c.ext_q;
+      c.dd[j] = std::max(c.dd[j], c.cc[j] - c.open_s) - c.ext_s;
+      cur = std::max({c.dd[j], e, sdiag + c.matrix->at(a, c.q[qi + j - 1])});
+      sdiag = c.cc[j];
+      c.cc[j] = cur;
+    }
+  }
+}
+
+// Mirror-image pass over the suffixes: rr[j] = best score of aligning the
+// `rows` subject chars starting at si with the last j query chars of the
+// block (all indices from the tail inward).
+void reverse_pass(MMContext& c, long si, long rows, long qi, long qn,
+                  long te) {
+  c.rr[0] = 0;
+  {
+    long t = -c.open_q;
+    for (long j = 1; j <= qn; ++j) {
+      t -= c.ext_q;
+      c.rr[j] = t;
+      c.ss[j] = t - c.open_s;
+    }
+  }
+  long t = -te;
+  for (long i = 1; i <= rows; ++i) {
+    long sdiag = c.rr[0];
+    t -= c.ext_s;
+    long cur = t;
+    c.rr[0] = cur;
+    c.ss[0] = cur;
+    long e = t - c.open_q;
+    const std::uint8_t a = c.s[si + rows - i];
+    for (long j = 1; j <= qn; ++j) {
+      e = std::max(e, cur - c.open_q) - c.ext_q;
+      c.ss[j] = std::max(c.ss[j], c.rr[j] - c.open_s) - c.ext_s;
+      cur = std::max({c.ss[j], e, sdiag + c.matrix->at(a, c.q[qi + qn - j])});
+      sdiag = c.rr[j];
+      c.rr[j] = cur;
+    }
+  }
+}
+
+void diff(MMContext& c, long si, long sn, long qi, long qn, long tb, long te) {
+  if (sn == 0) {
+    c.ops.add('I', qn);
+    return;
+  }
+  if (qn == 0) {
+    c.ops.add('D', sn);
+    return;
+  }
+  if (sn == 1) {
+    // Single subject char: delete it (merging with whichever boundary gap
+    // is cheaper) or match it against one query position.
+    long best = -(std::min(tb, te) + c.ext_s) + c.wq(qn);
+    long best_j = 0;  // 0 = deletion option
+    for (long j = 1; j <= qn; ++j) {
+      const long cand = c.wq(j - 1) +
+                        c.matrix->at(c.s[si], c.q[qi + j - 1]) +
+                        c.wq(qn - j);
+      if (cand > best) {
+        best = cand;
+        best_j = j;
+      }
+    }
+    if (best_j == 0) {
+      if (te < tb) {  // keep the deletion adjacent to the open gap
+        c.ops.add('I', qn);
+        c.ops.add('D', 1);
+      } else {
+        c.ops.add('D', 1);
+        c.ops.add('I', qn);
+      }
+    } else {
+      c.ops.add('I', best_j - 1);
+      c.ops.add('M', 1);
+      c.ops.add('I', qn - best_j);
+    }
+    return;
+  }
+
+  const long mid = sn / 2;
+  forward_pass(c, si, mid, qi, qn, tb);
+  reverse_pass(c, si + mid, sn - mid, qi, qn, te);
+
+  long best = kNegInf;
+  long best_j = 0;
+  bool cross_gap = false;
+  for (long j = 0; j <= qn; ++j) {
+    const long c1 = c.cc[j] + c.rr[qn - j];
+    if (c1 > best) {
+      best = c1;
+      best_j = j;
+      cross_gap = false;
+    }
+    const long c2 = c.dd[j] + c.ss[qn - j] + c.open_s;  // un-double the open
+    if (c2 > best) {
+      best = c2;
+      best_j = j;
+      cross_gap = true;
+    }
+  }
+
+  if (cross_gap) {
+    diff(c, si, mid - 1, qi, best_j, tb, 0);
+    c.ops.add('D', 2);  // the two subject chars inside the crossing gap
+    diff(c, si + mid + 1, sn - mid - 1, qi + best_j, qn - best_j, 0, te);
+  } else {
+    diff(c, si, mid, qi, best_j, tb, c.open_s);
+    diff(c, si + mid, sn - mid, qi + best_j, qn - best_j, c.open_s, te);
+  }
+}
+
+}  // namespace
+
+Alignment hirschberg_global(const score::ScoreMatrix& matrix,
+                            const Penalties& pen,
+                            std::span<const std::uint8_t> query,
+                            std::span<const std::uint8_t> subject) {
+  if (query.empty() || subject.empty()) {
+    throw std::invalid_argument("hirschberg_global: empty sequence");
+  }
+
+  MMContext c{&matrix, query, subject,
+              pen.query.open,   pen.query.extend,
+              pen.subject.open, pen.subject.extend,
+              {},               {}, {}, {}, {}};
+  const long qn = static_cast<long>(query.size());
+  c.cc.resize(qn + 1);
+  c.dd.resize(qn + 1);
+  c.rr.resize(qn + 1);
+  c.ss.resize(qn + 1);
+
+  diff(c, 0, static_cast<long>(subject.size()), 0, qn, pen.subject.open,
+       pen.subject.open);
+
+  // Score the produced path and assemble the Alignment.
+  Alignment aln;
+  aln.query_end = query.size();
+  aln.subject_end = subject.size();
+  long score = 0;
+  std::size_t qi = 0, si = 0;
+  std::string cigar;
+  for (const auto& [op, count] : c.ops.runs()) {
+    cigar += std::to_string(count);
+    cigar.push_back(op);
+    aln.columns += static_cast<std::size_t>(count);
+    if (op == 'M') {
+      for (long t = 0; t < count; ++t) {
+        if (query[qi] == subject[si]) ++aln.matches;
+        score += matrix.at(subject[si], query[qi]);
+        ++qi;
+        ++si;
+      }
+    } else if (op == 'I') {
+      score -= pen.query.open + count * pen.query.extend;
+      qi += static_cast<std::size_t>(count);
+    } else {
+      score -= pen.subject.open + count * pen.subject.extend;
+      si += static_cast<std::size_t>(count);
+    }
+  }
+  if (qi != query.size() || si != subject.size()) {
+    throw std::logic_error("hirschberg_global: path does not cover inputs");
+  }
+  aln.cigar = std::move(cigar);
+  aln.score = score;
+  return aln;
+}
+
+}  // namespace aalign::core

@@ -1,0 +1,26 @@
+// Linear-space global alignment with affine gaps (Myers & Miller, CABIOS
+// 1988 - the divide-and-conquer refinement of Hirschberg's algorithm).
+//
+// The paper's conclusion singles out "alignment for the long sequences" as
+// future work: full-matrix traceback (core/traceback.h) needs O(m*n) bytes,
+// which at Q36k x S36k is ~1.3 GB. This module reconstructs the same
+// optimal global alignment in O(m+n) space by splitting the subject at its
+// midpoint, joining forward and reverse half-column scores, and handling
+// gaps that cross the split with the tb/te open-charge bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/traceback.h"
+
+namespace aalign::core {
+
+// Global alignment (NW) path in linear space. Scores agree exactly with
+// align_sequential / align_traceback for Global (tested).
+Alignment hirschberg_global(const score::ScoreMatrix& matrix,
+                            const Penalties& pen,
+                            std::span<const std::uint8_t> query,
+                            std::span<const std::uint8_t> subject);
+
+}  // namespace aalign::core

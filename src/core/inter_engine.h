@@ -1,0 +1,41 @@
+// Type-erased interface to the inter-sequence kernels (safe to include
+// anywhere; the templated kernel itself lives in inter_kernel.h and is
+// instantiated only inside backend TUs).
+//
+// Inter-sequence mode aligns W database subjects at once, one per vector
+// lane - the "inter-sequence vectorization" the paper attributes to
+// SWAPHI (Sec. VI-C). Local alignment only: the database-search use case.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.h"
+#include "core/workspace.h"
+#include "simd/isa.h"
+
+namespace aalign::core {
+
+struct InterBatchInput {
+  const std::int32_t* flat_matrix;  // (alpha+1) x alpha, row-major; the
+                                    // extra row is the padding character
+  int alpha;                        // real alphabet size
+  std::span<const std::uint8_t> query;
+  const std::uint8_t* const* subjects;  // lanes() pointers (may repeat)
+  const int* lengths;                   // lanes() lengths
+  int max_len;                          // max of lengths
+};
+
+class InterEngine {
+ public:
+  virtual ~InterEngine() = default;
+  virtual simd::IsaKind isa() const = 0;
+  virtual int lanes() const = 0;
+  virtual void run(const InterBatchInput& in, const Penalties& pen,
+                   Workspace<std::int32_t>& ws, long* out_scores) const = 0;
+};
+
+// nullptr when the backend is unavailable on this machine/build.
+const InterEngine* get_inter_engine(simd::IsaKind isa);
+
+}  // namespace aalign::core

@@ -1,0 +1,104 @@
+// Inter-sequence vectorization kernel: W database subjects aligned
+// simultaneously, one per vector lane (same idea as Rognes' SWIPE).
+//
+// Because each lane is an independent alignment, the DP recurrences are
+// plain element-wise vector ops - no striping, no lazy-F corrections, no
+// scan. The price is the substitution fetch: each lane needs the score of
+// ITS subject character against the current query residue, i.e. a
+// per-lane table lookup (VecOps::gather) from a flat (alpha+1) x alpha
+// matrix whose extra row is the batch-padding character (strongly
+// negative, so lanes that finished early decay to zero and stop
+// contributing to the running maximum).
+//
+// Include only from backend TUs compiled with the right ISA flags.
+#pragma once
+
+#include "core/column_engine.h"
+#include "core/inter_engine.h"
+
+namespace aalign::core {
+
+template <class Ops>
+void inter_sequence_local(const InterBatchInput& in,
+                          const Steps<std::int32_t>& st,
+                          Workspace<std::int32_t>& ws, long* out_scores) {
+  using reg = typename Ops::reg;
+  constexpr int W = Ops::kWidth;
+  const int m = static_cast<int>(in.query.size());
+  const std::int32_t kNegInf = simd::neg_inf<std::int32_t>();
+
+  ws.prepare(2 * m * W);
+  std::int32_t* h = ws.h_prev.data();  // H(prev column) per (j, lane)
+  std::int32_t* e = ws.h_cur.data();   // E carry per (j, lane)
+  for (int j = 0; j < m * W; ++j) {
+    h[j] = 0;
+    e[j] = kNegInf;
+  }
+
+  const reg v_zero = Ops::set1(0);
+  const reg v_ext_l = Ops::set1(st.ext_left);
+  const reg v_first_l = Ops::set1(st.first_left);
+  const reg v_ext_u = Ops::set1(st.ext_up);
+  const reg v_first_u = Ops::set1(st.first_up);
+  reg v_max = v_zero;
+
+  alignas(64) std::int32_t row_base[W];
+  for (int t = 0; t < in.max_len; ++t) {
+    // Per-lane row offset of this column's subject character; finished
+    // lanes read the padding row (index alpha).
+    for (int l = 0; l < W; ++l) {
+      const int c = t < in.lengths[l] ? in.subjects[l][t] : in.alpha;
+      row_base[l] = c * in.alpha;
+    }
+    const reg v_rows = Ops::from_array(row_base);
+
+    reg v_f = Ops::set1(kNegInf);
+    reg v_hdiag = v_zero;  // local boundary H(., 0) = 0
+    reg v_hleft = v_zero;
+    for (int j = 0; j < m; ++j) {
+      const reg v_idx = Ops::adds(v_rows, Ops::set1(in.query[j]));
+      const reg v_sub = Ops::gather(in.flat_matrix, v_idx);
+
+      const reg v_hup = Ops::load(h + j * W);
+      const reg v_e = Ops::max(Ops::adds(Ops::load(e + j * W), v_ext_l),
+                               Ops::adds(v_hup, v_first_l));
+      v_f = Ops::max(Ops::adds(v_f, v_ext_u), Ops::adds(v_hleft, v_first_u));
+
+      reg v_cell = Ops::adds(v_hdiag, v_sub);
+      v_cell = Ops::max(v_cell, v_e);
+      v_cell = Ops::max(v_cell, v_f);
+      v_cell = Ops::max(v_cell, v_zero);
+      v_max = Ops::max(v_max, v_cell);
+
+      Ops::store(e + j * W, v_e);
+      Ops::store(h + j * W, v_cell);
+      v_hdiag = v_hup;
+      v_hleft = v_cell;
+    }
+  }
+
+  alignas(64) std::int32_t scores[W];
+  Ops::to_array(v_max, scores);
+  for (int l = 0; l < W; ++l) out_scores[l] = scores[l];
+}
+
+template <class Ops>
+class InterEngineImpl final : public InterEngine {
+ public:
+  explicit InterEngineImpl(simd::IsaKind isa) : isa_(isa) {}
+  simd::IsaKind isa() const override { return isa_; }
+  int lanes() const override { return Ops::kWidth; }
+  void run(const InterBatchInput& in, const Penalties& pen,
+           Workspace<std::int32_t>& ws, long* out_scores) const override {
+    AlignConfig cfg;
+    cfg.kind = AlignKind::Local;
+    cfg.pen = pen;
+    inter_sequence_local<Ops>(in, make_steps<std::int32_t>(cfg), ws,
+                              out_scores);
+  }
+
+ private:
+  simd::IsaKind isa_;
+};
+
+}  // namespace aalign::core

@@ -1,0 +1,132 @@
+// Strategy drivers over ColumnEngine: striped-iterate, striped-scan, and
+// the hybrid method of Sec. V-B. All three run columns through the same
+// block loops (ColumnEngine::run_*_block), so hybrid pays nothing per
+// column beyond its window/stride decisions. Header is included only by
+// backend TUs (each compiled with its ISA flags) via engine_impl.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/column_engine.h"
+
+namespace aalign::core {
+
+template <class Ops, AlignKind K, bool Affine>
+KernelResult run_striped_iterate(
+    const score::StripedProfile<typename Ops::value_type>& prof,
+    std::span<const std::uint8_t> subject,
+    Steps<typename Ops::value_type> st,
+    Workspace<typename Ops::value_type>& ws) {
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  KernelResult res;
+  const long n = static_cast<long>(subject.size());
+  res.stats.lazy_steps = eng.run_iterate_block(1, subject.data(), n);
+  res.stats.columns = n;
+  res.stats.iterate_columns = n;
+  res.score = eng.finalize();
+  res.saturated = eng.saturated(res.score, n);
+  return res;
+}
+
+template <class Ops, AlignKind K, bool Affine>
+KernelResult run_striped_scan(
+    const score::StripedProfile<typename Ops::value_type>& prof,
+    std::span<const std::uint8_t> subject,
+    Steps<typename Ops::value_type> st,
+    Workspace<typename Ops::value_type>& ws) {
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  KernelResult res;
+  const long n = static_cast<long>(subject.size());
+  eng.run_scan_block(1, subject.data(), n);
+  res.stats.columns = n;
+  res.stats.scan_columns = n;
+  res.score = eng.finalize();
+  res.saturated = eng.saturated(res.score, n);
+  return res;
+}
+
+// End-tracking variant (local alignment): per column, checks whether the
+// running best improved and records the first column reaching the final
+// optimum. One horizontal max per column (~kWidth scalar ops) on top of
+// the plain iterate driver - the SSW-style first pass of the traceback
+// pipeline (core/local_path.h).
+template <class Ops, AlignKind K, bool Affine>
+KernelResult run_striped_iterate_tracked(
+    const score::StripedProfile<typename Ops::value_type>& prof,
+    std::span<const std::uint8_t> subject,
+    Steps<typename Ops::value_type> st,
+    Workspace<typename Ops::value_type>& ws) {
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  KernelResult res;
+  const long n = static_cast<long>(subject.size());
+  long best = 0;
+  for (long i = 1; i <= n; ++i) {
+    res.stats.lazy_steps += eng.run_iterate_block(i, subject.data(), 1);
+    if constexpr (K == AlignKind::Local) {
+      const long cur = eng.running_best();
+      if (cur > best) {
+        best = cur;
+        res.subject_end = i;
+      }
+    }
+  }
+  res.stats.columns = n;
+  res.stats.iterate_columns = n;
+  res.score = eng.finalize();
+  res.saturated = eng.saturated(res.score, n);
+  if constexpr (K != AlignKind::Local) res.subject_end = n;
+  return res;
+}
+
+// Hybrid (Sec. V-B): start in striped-iterate; after each `window`-column
+// block, compare the lazy-F re-computation counter (normalized to full
+// column passes) against the threshold. Above it, run striped-scan for
+// `stride` columns whose cost is input-independent, then probe iterate
+// again.
+template <class Ops, AlignKind K, bool Affine>
+KernelResult run_hybrid(
+    const score::StripedProfile<typename Ops::value_type>& prof,
+    std::span<const std::uint8_t> subject,
+    Steps<typename Ops::value_type> st,
+    Workspace<typename Ops::value_type>& ws, const HybridParams& hp) {
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  KernelResult res;
+  const long n = static_cast<long>(subject.size());
+  const double segs = static_cast<double>(eng.segs());
+  const long window = std::max(1, hp.window);
+  const long stride = std::max(1, hp.stride);
+
+  bool scan_mode = false;
+  long i = 1;
+  while (i <= n) {
+    if (scan_mode) {
+      const long count = std::min(stride, n - i + 1);
+      eng.run_scan_block(i, subject.data(), count);
+      res.stats.scan_columns += static_cast<std::uint64_t>(count);
+      i += count;
+      scan_mode = false;  // probe iterate next
+      ++res.stats.switches;
+    } else {
+      const long count = std::min(window, n - i + 1);
+      const std::uint64_t lazy =
+          eng.run_iterate_block(i, subject.data(), count);
+      res.stats.lazy_steps += lazy;
+      res.stats.iterate_columns += static_cast<std::uint64_t>(count);
+      i += count;
+      const double passes_per_col =
+          static_cast<double>(lazy) / (segs * static_cast<double>(count));
+      if (passes_per_col > hp.threshold) {
+        scan_mode = true;
+        ++res.stats.switches;
+      }
+    }
+  }
+  res.stats.columns = n;
+  res.score = eng.finalize();
+  res.saturated = eng.saturated(res.score, n);
+  return res;
+}
+
+}  // namespace aalign::core

@@ -1,0 +1,24 @@
+// AVX-512-backend kernel instantiations: the stand-in for the paper's
+// IMCI/Knights-Corner "MIC" target, deliberately 32-bit-lanes-only to match
+// IMCI's integer support (Sec. II-A). Compiled with -mavx512f/bw/vl only;
+// never dispatched unless cpuid reports those features.
+#include "core/backends.h"
+#include "core/engine_impl.h"
+#include "core/inter_kernel.h"
+#include "simd/vec_avx512.h"
+
+namespace aalign::core {
+
+const Engine<std::int32_t>* engine_avx512_i32() {
+  static const EngineImpl<simd::VecOps<std::int32_t, simd::Avx512Tag>> e(
+      simd::IsaKind::Avx512);
+  return &e;
+}
+
+const InterEngine* inter_engine_avx512() {
+  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::Avx512Tag>> e(
+      simd::IsaKind::Avx512);
+  return &e;
+}
+
+}  // namespace aalign::core

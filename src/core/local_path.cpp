@@ -1,0 +1,79 @@
+#include "core/local_path.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/query_context.h"
+
+namespace aalign::core {
+
+namespace {
+
+QueryOptions make_query_options(const AlignOptions& o) {
+  QueryOptions q;
+  // The tracked driver is iterate-based; strategy is overridden anyway.
+  q.strategy = Strategy::StripedIterate;
+  q.isa = o.isa.value_or(simd::best_available_isa());
+  q.width = o.width;
+  q.hybrid = o.hybrid;
+  return q;
+}
+
+}  // namespace
+
+Alignment align_local_path(const score::ScoreMatrix& matrix,
+                           const Penalties& pen,
+                           std::span<const std::uint8_t> query,
+                           std::span<const std::uint8_t> subject,
+                           const LocalPathOptions& opt) {
+  if (query.empty() || subject.empty()) {
+    throw std::invalid_argument("align_local_path: empty sequence");
+  }
+  if (!farrar_safe(matrix, pen)) {
+    throw std::invalid_argument(
+        "align_local_path: penalties are not Farrar-safe for this matrix");
+  }
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = pen;
+
+  const QueryOptions qopt = make_query_options(opt.align);
+  WorkspaceSet ws;
+
+  // Pass 1: forward score + end column.
+  const QueryContext fwd(matrix, cfg, qopt, query);
+  const AdaptiveResult r1 = fwd.align(subject, ws, /*track_end=*/true);
+  if (r1.kernel.score <= 0) return Alignment{};  // empty local alignment
+  const std::size_t s_end = static_cast<std::size_t>(r1.kernel.subject_end);
+
+  // Pass 2: reversed query vs reversed subject prefix -> begin column.
+  // Gap penalties swap orientation symmetrically, so the same config runs.
+  std::vector<std::uint8_t> rq(query.rbegin(), query.rend());
+  std::vector<std::uint8_t> rs(subject.begin(),
+                               subject.begin() + static_cast<long>(s_end));
+  std::reverse(rs.begin(), rs.end());
+  const QueryContext rev(matrix, cfg, qopt, rq);
+  const AdaptiveResult r2 = rev.align(rs, ws, /*track_end=*/true);
+  if (r2.kernel.score != r1.kernel.score) {
+    throw std::logic_error(
+        "align_local_path: reverse pass disagrees with forward score");
+  }
+  const std::size_t s_begin =
+      s_end - static_cast<std::size_t>(r2.kernel.subject_end);
+
+  // Pass 3: full traceback on the column slab only.
+  const std::span<const std::uint8_t> slab =
+      subject.subspan(s_begin, s_end - s_begin);
+  Alignment aln = align_traceback(matrix, cfg, query, slab, opt.traceback);
+  if (aln.score != r1.kernel.score) {
+    throw std::logic_error(
+        "align_local_path: slab traceback disagrees with kernel score");
+  }
+  aln.subject_begin += s_begin;
+  aln.subject_end += s_begin;
+  return aln;
+}
+
+}  // namespace aalign::core

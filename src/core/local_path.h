@@ -1,0 +1,40 @@
+// Vector-accelerated local alignment WITH path (SSW-style three-pass
+// pipeline). The paper's kernels - like SWPS3 and SWAPHI - are score-only;
+// this module turns them into a full traceback without paying O(m*n)
+// direction bytes over the whole matrix:
+//
+//   pass 1: striped kernel over the full subject, tracking the first
+//           column where the final optimum appears  -> subject_end
+//   pass 2: striped kernel on (reversed query, reversed subject prefix)
+//           -> subject_begin (the optimal alignment's first column)
+//   pass 3: full-matrix traceback restricted to the
+//           [subject_begin, subject_end) column slab, whose width is the
+//           alignment's subject span - tiny for typical database hits.
+//
+// The result is exactly an optimal local alignment (score equality with
+// the oracle is enforced internally and tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/aligner.h"
+#include "core/traceback.h"
+
+namespace aalign::core {
+
+struct LocalPathOptions {
+  AlignOptions align;          // ISA/width selection for the score passes
+  TracebackOptions traceback;  // memory guard for the slab pass
+};
+
+// Local (Smith-Waterman) alignment with coordinates and CIGAR. `pen` must
+// be Farrar-safe for the matrix (checked). Throws std::invalid_argument on
+// empty input; returns an empty alignment when the best score is 0.
+Alignment align_local_path(const score::ScoreMatrix& matrix,
+                           const Penalties& pen,
+                           std::span<const std::uint8_t> query,
+                           std::span<const std::uint8_t> subject,
+                           const LocalPathOptions& opt = {});
+
+}  // namespace aalign::core

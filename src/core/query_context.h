@@ -1,0 +1,76 @@
+// QueryContext: everything derivable from (matrix, config, options, query)
+// alone - striped profiles per score width plus the engine pointers.
+// Immutable after build and safely shared read-only by every search thread
+// (the paper's Sec. V-E optimization: build the profile once, before
+// launching threads). Mutable per-thread state lives in WorkspaceSet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/workspace.h"
+#include "score/profile.h"
+
+namespace aalign::core {
+
+struct QueryOptions {
+  Strategy strategy = Strategy::Hybrid;
+  simd::IsaKind isa = simd::IsaKind::Scalar;
+  ScoreWidth width = ScoreWidth::Auto;  // Auto = adaptive 8->16->32
+  HybridParams hybrid;
+};
+
+struct WorkspaceSet {
+  Workspace<std::int8_t> w8;
+  Workspace<std::int16_t> w16;
+  Workspace<std::int32_t> w32;
+};
+
+struct AdaptiveResult {
+  KernelResult kernel;
+  ScoreWidth width = ScoreWidth::W32;
+  int promotions = 0;
+};
+
+class QueryContext {
+ public:
+  // Throws std::invalid_argument when the ISA is unavailable or provides
+  // no usable width.
+  QueryContext(const score::ScoreMatrix& matrix, const AlignConfig& cfg,
+               const QueryOptions& opt,
+               std::span<const std::uint8_t> query);
+
+  // Runs the kernel at the narrowest viable width, promoting on
+  // saturation. Thread-safe given a per-thread WorkspaceSet.
+  // track_end records KernelResult::subject_end (see core/local_path.h).
+  AdaptiveResult align(std::span<const std::uint8_t> subject,
+                       WorkspaceSet& ws, bool track_end = false) const;
+
+  const AlignConfig& config() const { return cfg_; }
+  const QueryOptions& options() const { return opt_; }
+  const std::vector<ScoreWidth>& widths() const { return widths_; }
+  std::size_t query_length() const { return query_len_; }
+
+ private:
+  template <class T>
+  KernelResult run_width(std::span<const std::uint8_t> subject,
+                         WorkspaceSet& ws, bool track_end) const;
+
+  const score::ScoreMatrix& matrix_;
+  AlignConfig cfg_;
+  QueryOptions opt_;
+  std::size_t query_len_ = 0;
+  std::vector<ScoreWidth> widths_;
+
+  score::StripedProfile<std::int8_t> prof8_;
+  score::StripedProfile<std::int16_t> prof16_;
+  score::StripedProfile<std::int32_t> prof32_;
+  const Engine<std::int8_t>* eng8_ = nullptr;
+  const Engine<std::int16_t>* eng16_ = nullptr;
+  const Engine<std::int32_t>* eng32_ = nullptr;
+};
+
+}  // namespace aalign::core

@@ -1,0 +1,137 @@
+#include "core/sequential.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace aalign::core {
+
+namespace {
+constexpr long kNegInf = std::numeric_limits<long>::min() / 4;
+}
+
+long align_sequential(const score::ScoreMatrix& matrix,
+                      const AlignConfig& cfg,
+                      std::span<const std::uint8_t> query,
+                      std::span<const std::uint8_t> subject) {
+  cfg.validate();
+  const long m = static_cast<long>(query.size());
+  const long n = static_cast<long>(subject.size());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("align_sequential: empty sequence");
+  }
+
+  const long first_u = -(cfg.pen.query.open + cfg.pen.query.extend);
+  const long ext_u = -cfg.pen.query.extend;
+  const long first_l = -(cfg.pen.subject.open + cfg.pen.subject.extend);
+  const long ext_l = -cfg.pen.subject.extend;
+  const bool local = cfg.kind == AlignKind::Local;
+  const bool row_free = kind_row_free(cfg.kind);
+  const bool col_free = kind_col_free(cfg.kind);
+  const bool end_row_free = kind_end_row_free(cfg.kind);
+  const bool end_col_free = kind_end_col_free(cfg.kind);
+
+  std::vector<long> h(m + 1), e(m + 1, kNegInf);
+  h[0] = 0;
+  for (long j = 1; j <= m; ++j) {
+    h[j] = row_free ? 0 : first_u + (j - 1) * ext_u;
+  }
+
+  long best = local ? 0 : kNegInf;
+  if (end_row_free) best = h[m];  // H(0, m) is a valid endpoint
+
+  for (long i = 1; i <= n; ++i) {
+    long diag = h[0];
+    h[0] = col_free ? 0 : first_l + (i - 1) * ext_l;
+    long f = kNegInf;
+    const std::uint8_t sc = subject[i - 1];
+    for (long j = 1; j <= m; ++j) {
+      const long ecur = std::max(e[j] + ext_l, h[j] + first_l);
+      f = std::max(f + ext_u, h[j - 1] + first_u);
+      long cell = diag + matrix.at(sc, query[j - 1]);
+      cell = std::max({cell, ecur, f});
+      if (local) cell = std::max(cell, 0L);
+      diag = h[j];
+      e[j] = ecur;
+      h[j] = cell;
+      if (local && cell > best) best = cell;
+    }
+    if (end_row_free) best = std::max(best, h[m]);
+  }
+  if (cfg.kind == AlignKind::Global) best = h[m];
+  if (end_col_free) {  // trailing query overhang free: scan the last row
+    for (long j = 0; j <= m; ++j) best = std::max(best, h[j]);
+  }
+  return best;
+}
+
+long align_sequential_vargap(const score::ScoreMatrix& matrix, AlignKind kind,
+                             std::span<const std::uint8_t> query,
+                             std::span<const std::uint8_t> subject,
+                             std::span<const int> open_q,
+                             std::span<const int> ext_q,
+                             std::span<const int> open_s,
+                             std::span<const int> ext_s) {
+  const long m = static_cast<long>(query.size());
+  const long n = static_cast<long>(subject.size());
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument("align_sequential_vargap: empty sequence");
+  }
+  if (static_cast<long>(open_q.size()) != m ||
+      static_cast<long>(ext_q.size()) != m ||
+      static_cast<long>(open_s.size()) != n ||
+      static_cast<long>(ext_s.size()) != n) {
+    throw std::invalid_argument(
+        "align_sequential_vargap: penalty arrays must match sequence sizes");
+  }
+  const bool local = kind == AlignKind::Local;
+
+  std::vector<long> h(m + 1), e(m + 1, kNegInf);
+  h[0] = 0;
+  for (long j = 1; j <= m; ++j) {
+    // Leading query gap: open at position 0, extend through j-1.
+    h[j] = local ? 0 : h[j - 1] - ext_q[j - 1] - (j == 1 ? open_q[0] : 0);
+  }
+
+  long best;
+  if (local) {
+    best = 0;
+  } else if (kind == AlignKind::SemiGlobal) {
+    best = h[m];
+  } else {
+    best = kNegInf;
+  }
+
+  long h0_prev = 0;  // H(i-1, 0) for the gapped global boundary
+  for (long i = 1; i <= n; ++i) {
+    long diag = h[0];
+    const long open_col = -(open_s[i - 1]);
+    const long ext_col = -(ext_s[i - 1]);
+    h[0] = (kind == AlignKind::Global)
+               ? (i == 1 ? open_col + ext_col : h0_prev + ext_col)
+               : 0;
+    const long h0_now = h[0];
+    long f = kNegInf;
+    const std::uint8_t sc = subject[i - 1];
+    for (long j = 1; j <= m; ++j) {
+      const long ecur = std::max(e[j] + ext_col, h[j] + open_col + ext_col);
+      const long gq = -(ext_q[j - 1]);
+      const long oq = -(open_q[j - 1]);
+      f = std::max(f + gq, h[j - 1] + oq + gq);
+      long cell = diag + matrix.at(sc, query[j - 1]);
+      cell = std::max({cell, ecur, f});
+      if (local) cell = std::max(cell, 0L);
+      diag = h[j];
+      e[j] = ecur;
+      h[j] = cell;
+      if (local && cell > best) best = cell;
+    }
+    h0_prev = h0_now;
+    if (kind == AlignKind::SemiGlobal) best = std::max(best, h[m]);
+  }
+  if (kind == AlignKind::Global) best = h[m];
+  return best;
+}
+
+}  // namespace aalign::core

@@ -1,0 +1,33 @@
+// Exact reference implementation of the generalized paradigm (Eq. 3-6),
+// computed in 64-bit arithmetic with O(m) space. This is the correctness
+// oracle every vector kernel is property-tested against, and the basis of
+// the optimized sequential baselines in src/baselines/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.h"
+#include "score/matrices.h"
+
+namespace aalign::core {
+
+// Best-path score of aligning query vs subject under cfg.
+long align_sequential(const score::ScoreMatrix& matrix,
+                      const AlignConfig& cfg,
+                      std::span<const std::uint8_t> query,
+                      std::span<const std::uint8_t> subject);
+
+// Extension hook (paper Sec. V-D future work): per-position gap penalties.
+// open_q/ext_q are indexed by query position (0..m-1) and charged for gaps
+// consuming query characters at that position; likewise open_s/ext_s along
+// the subject. Used by the dynamic-time-warping-style example.
+long align_sequential_vargap(const score::ScoreMatrix& matrix, AlignKind kind,
+                             std::span<const std::uint8_t> query,
+                             std::span<const std::uint8_t> subject,
+                             std::span<const int> open_q,
+                             std::span<const int> ext_q,
+                             std::span<const int> open_s,
+                             std::span<const int> ext_s);
+
+}  // namespace aalign::core

@@ -1,0 +1,30 @@
+#include "core/stats.h"
+
+namespace aalign::core {
+
+SimilarityStats similarity_from_alignment(const Alignment& aln,
+                                          std::size_t query_len) {
+  SimilarityStats s;
+  if (query_len != 0) {
+    s.query_coverage =
+        static_cast<double>(aln.query_end - aln.query_begin) /
+        static_cast<double>(query_len);
+  }
+  if (aln.columns != 0) {
+    s.max_identity =
+        static_cast<double>(aln.matches) / static_cast<double>(aln.columns);
+  }
+  return s;
+}
+
+SimilarityStats measure_similarity(const score::ScoreMatrix& matrix,
+                                   std::span<const std::uint8_t> query,
+                                   std::span<const std::uint8_t> subject) {
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const Alignment aln = align_traceback(matrix, cfg, query, subject);
+  return similarity_from_alignment(aln, query.size());
+}
+
+}  // namespace aalign::core

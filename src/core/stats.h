@@ -1,0 +1,26 @@
+// Query-coverage / max-identity measurement (paper Sec. VI-B): the two
+// similarity axes of the Fig. 10 experiment, computed from a real local
+// alignment rather than assumed from the generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/traceback.h"
+
+namespace aalign::core {
+
+struct SimilarityStats {
+  double query_coverage = 0.0;  // aligned query span / query length
+  double max_identity = 0.0;    // identical pairs / alignment columns
+};
+
+SimilarityStats similarity_from_alignment(const Alignment& aln,
+                                          std::size_t query_len);
+
+// Convenience: SW-align (BLOSUM62, affine 10/2 by default) and measure.
+SimilarityStats measure_similarity(const score::ScoreMatrix& matrix,
+                                   std::span<const std::uint8_t> query,
+                                   std::span<const std::uint8_t> subject);
+
+}  // namespace aalign::core

@@ -1,0 +1,45 @@
+#include "score/alphabet.h"
+
+#include <cctype>
+
+namespace aalign::score {
+
+Alphabet::Alphabet(AlphabetKind kind, std::string letters, int wildcard)
+    : kind_(kind), letters_(std::move(letters)), wildcard_(wildcard) {
+  ctoi_.fill(static_cast<std::uint8_t>(wildcard_));
+  for (std::size_t i = 0; i < letters_.size(); ++i) {
+    const char c = letters_[i];
+    ctoi_[static_cast<unsigned char>(std::toupper(c))] =
+        static_cast<std::uint8_t>(i);
+    ctoi_[static_cast<unsigned char>(std::tolower(c))] =
+        static_cast<std::uint8_t>(i);
+  }
+}
+
+const Alphabet& Alphabet::protein() {
+  // NCBI BLOSUM ordering; B/Z/X are ambiguity codes, '*' is a stop codon.
+  static const Alphabet a(AlphabetKind::Protein, "ARNDCQEGHILKMFPSTWYVBZX*",
+                          /*wildcard=*/22);
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a(AlphabetKind::Dna, "ACGTN", /*wildcard=*/4);
+  return a;
+}
+
+std::vector<std::uint8_t> Alphabet::encode(std::string_view residues) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(residues.size());
+  for (char c : residues) out.push_back(ctoi(c));
+  return out;
+}
+
+std::string Alphabet::decode(std::span<const std::uint8_t> indices) const {
+  std::string out;
+  out.reserve(indices.size());
+  for (std::uint8_t i : indices) out.push_back(itoc(i));
+  return out;
+}
+
+}  // namespace aalign::score

@@ -1,0 +1,110 @@
+#include "score/evalue.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aalign::score {
+
+std::array<double, 32> protein_background() {
+  // Robinson & Robinson (1991), ARNDCQEGHILKMFPSTWYV order.
+  std::array<double, 32> bg{};
+  constexpr double f[20] = {0.07805, 0.05129, 0.04487, 0.05364, 0.01925,
+                            0.04264, 0.06295, 0.07377, 0.02199, 0.05142,
+                            0.09019, 0.05744, 0.02243, 0.03856, 0.05203,
+                            0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+  for (int i = 0; i < 20; ++i) bg[static_cast<std::size_t>(i)] = f[i];
+  return bg;
+}
+
+namespace {
+
+// sum_ij p_i p_j e^{lambda * s_ij}
+double partition(const ScoreMatrix& m, std::span<const double> bg,
+                 double lambda) {
+  double total = 0.0;
+  const int n = m.size();
+  for (int i = 0; i < n; ++i) {
+    if (bg[static_cast<std::size_t>(i)] == 0.0) continue;
+    for (int j = 0; j < n; ++j) {
+      if (bg[static_cast<std::size_t>(j)] == 0.0) continue;
+      total += bg[static_cast<std::size_t>(i)] *
+               bg[static_cast<std::size_t>(j)] *
+               std::exp(lambda * m.at(i, j));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+KarlinParams compute_ungapped_params(const ScoreMatrix& matrix,
+                                     std::span<const double> background) {
+  // Expected score must be negative and a positive score must exist for
+  // the root to exist (Karlin & Altschul 1990).
+  double expected = 0.0;
+  bool has_positive = false;
+  const int n = matrix.size();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double p = background[static_cast<std::size_t>(i)] *
+                       background[static_cast<std::size_t>(j)];
+      expected += p * matrix.at(i, j);
+      if (p > 0 && matrix.at(i, j) > 0) has_positive = true;
+    }
+  }
+  if (expected >= 0.0 || !has_positive) {
+    throw std::invalid_argument(
+        "compute_ungapped_params: matrix must have negative expected score "
+        "and at least one positive entry");
+  }
+
+  // partition(0) = 1 and partition is convex with positive slope at the
+  // root; bracket then bisect.
+  double lo = 1e-6, hi = 1.0;
+  while (partition(matrix, background, hi) < 1.0) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (partition(matrix, background, mid) < 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  KarlinParams p;
+  p.lambda = 0.5 * (lo + hi);
+
+  // H = lambda * sum p_i p_j s_ij e^{lambda s_ij}
+  double h = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double pij = background[static_cast<std::size_t>(i)] *
+                         background[static_cast<std::size_t>(j)];
+      if (pij == 0.0) continue;
+      h += pij * matrix.at(i, j) * std::exp(p.lambda * matrix.at(i, j));
+    }
+  }
+  p.H = p.lambda * h;
+  p.K = 0.0;  // no closed form; caller supplies or uses defaults
+  return p;
+}
+
+KarlinParams default_protein_params(const ScoreMatrix& matrix) {
+  const auto bg = protein_background();
+  KarlinParams p = compute_ungapped_params(matrix, bg);
+  p.K = 0.134;  // classic ungapped BLOSUM62 K; conservative placeholder
+  return p;
+}
+
+double bit_score(const KarlinParams& p, long raw_score) {
+  return (p.lambda * static_cast<double>(raw_score) - std::log(p.K)) /
+         std::log(2.0);
+}
+
+double e_value(const KarlinParams& p, long raw_score, std::size_t query_len,
+               std::size_t db_residues) {
+  return p.K * static_cast<double>(query_len) *
+         static_cast<double>(db_residues) *
+         std::exp(-p.lambda * static_cast<double>(raw_score));
+}
+
+}  // namespace aalign::score

@@ -1,0 +1,50 @@
+// Karlin-Altschul statistics: turning raw Smith-Waterman scores into bit
+// scores and E-values, the units database-search users actually read
+// (SWPS3/SWAPHI-class tools report raw scores; BLAST-style statistics make
+// the search output interpretable).
+//
+// lambda is computed exactly from the matrix and background frequencies
+// (unique positive root of sum_ij p_i p_j e^{lambda*s_ij} = 1, found by
+// bisection). K has no closed form; callers may supply published gapped
+// values (e.g. BLOSUM62 gapped 11/1: lambda 0.267, K 0.041) - the default
+// uses the computed ungapped lambda with the standard ungapped BLOSUM62 K
+// as a conservative stand-in, which is clearly documented in the output.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "score/matrices.h"
+
+namespace aalign::score {
+
+struct KarlinParams {
+  double lambda = 0.0;  // nats per score unit
+  double K = 0.0;       // search-space scale factor
+  double H = 0.0;       // relative entropy (nats per aligned pair)
+};
+
+// Robinson-Robinson amino-acid background frequencies in BLOSUM order
+// (ambiguity codes get frequency 0).
+std::array<double, 32> protein_background();
+
+// Exact ungapped lambda/H for a matrix under the given background
+// (throws std::invalid_argument if the matrix has non-negative expected
+// score, for which no lambda exists).
+KarlinParams compute_ungapped_params(const ScoreMatrix& matrix,
+                                     std::span<const double> background);
+
+// Convenience: ungapped params for a protein matrix with the standard
+// background and the classic K for BLOSUM62 (0.134) as placeholder.
+KarlinParams default_protein_params(const ScoreMatrix& matrix);
+
+// Bit score: (lambda*S - ln K) / ln 2.
+double bit_score(const KarlinParams& p, long raw_score);
+
+// Expected number of chance hits at >= raw_score for a query of length m
+// against a database of `db_residues` total residues.
+double e_value(const KarlinParams& p, long raw_score, std::size_t query_len,
+               std::size_t db_residues);
+
+}  // namespace aalign::score

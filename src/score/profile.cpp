@@ -1,0 +1,42 @@
+#include "score/profile.h"
+
+#include <stdexcept>
+
+namespace aalign::score {
+
+template <class T>
+void build_striped_profile(StripedProfile<T>& p,
+                           std::span<const std::uint8_t> query,
+                           const ScoreMatrix& matrix, int width, T pad) {
+  if (query.empty()) throw std::invalid_argument("profile: empty query");
+  if (width <= 0) throw std::invalid_argument("profile: bad vector width");
+
+  p.m = static_cast<int>(query.size());
+  p.width = width;
+  p.segs = (p.m + width - 1) / width;
+  p.alpha = matrix.size();
+  p.data.resize(static_cast<std::size_t>(p.alpha) * p.segs * width);
+
+  for (int a = 0; a < p.alpha; ++a) {
+    T* row = p.data.data() + static_cast<std::size_t>(a) * p.segs * width;
+    for (int j = 0; j < p.segs; ++j) {
+      for (int l = 0; l < width; ++l) {
+        const int logical = l * p.segs + j;
+        row[j * width + l] =
+            logical < p.m ? static_cast<T>(matrix.at(a, query[logical])) : pad;
+      }
+    }
+  }
+}
+
+template void build_striped_profile<std::int8_t>(
+    StripedProfile<std::int8_t>&, std::span<const std::uint8_t>,
+    const ScoreMatrix&, int, std::int8_t);
+template void build_striped_profile<std::int16_t>(
+    StripedProfile<std::int16_t>&, std::span<const std::uint8_t>,
+    const ScoreMatrix&, int, std::int16_t);
+template void build_striped_profile<std::int32_t>(
+    StripedProfile<std::int32_t>&, std::span<const std::uint8_t>,
+    const ScoreMatrix&, int, std::int32_t);
+
+}  // namespace aalign::score

@@ -1,0 +1,40 @@
+// Striped query profile (paper Fig. 4 layout, the `prof` array of Alg. 2/3).
+//
+// For each alphabet letter `a`, row `a` holds the substitution scores of
+// `a` against every query position, pre-arranged in the striped layout so
+// the kernels' inner loop is a single aligned vector load:
+//   row[a][j*width + l] = matrix(a, query[l*segs + j])   (logical l*segs+j)
+// Padding cells (logical index >= m) get `pad`: neg_inf-like for local
+// alignment (pad cells must never win) and 0 for global/semiglobal (pad
+// cells are never read and must not wrap 32-bit arithmetic).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "score/matrices.h"
+#include "util/aligned_buffer.h"
+
+namespace aalign::score {
+
+template <class T>
+struct StripedProfile {
+  int m = 0;      // query length (unpadded)
+  int width = 0;  // vector lanes V
+  int segs = 0;   // vector count k = ceil(m / width)
+  int alpha = 0;  // alphabet size
+  util::AlignedBuffer<T> data;
+
+  const T* row(int letter) const {
+    return data.data() +
+           static_cast<std::size_t>(letter) * segs * width;
+  }
+  int padded_len() const { return segs * width; }
+};
+
+template <class T>
+void build_striped_profile(StripedProfile<T>& p,
+                           std::span<const std::uint8_t> query,
+                           const ScoreMatrix& matrix, int width, T pad);
+
+}  // namespace aalign::score

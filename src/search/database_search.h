@@ -1,0 +1,61 @@
+// Multi-threaded query-vs-database search (paper Sec. V-E): the query
+// profile is built once (QueryContext), the database is sorted longest
+// first, and worker threads pull subjects from a dynamic queue, each with
+// its own kernel workspace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/query_context.h"
+#include "seq/database.h"
+
+namespace aalign::search {
+
+struct SearchOptions {
+  int threads = 0;  // 0 = hardware concurrency
+  core::QueryOptions query;
+  std::size_t top_k = 10;
+  bool keep_all_scores = true;  // retain the per-subject score vector
+  bool sort_database = true;    // length-sort for load balance
+};
+
+struct SearchHit {
+  std::size_t index = 0;  // position in the (possibly re-sorted) database
+  long score = 0;
+};
+
+struct SearchResult {
+  std::vector<long> scores;    // per subject (empty if !keep_all_scores)
+  std::vector<SearchHit> top;  // best top_k, descending score
+  double seconds = 0.0;
+  std::size_t cells = 0;  // total m*n DP cells computed
+  double gcups = 0.0;
+  std::uint64_t promotions = 0;  // adaptive width retries over all subjects
+  KernelStats stats;             // aggregated kernel statistics
+};
+
+class DatabaseSearch {
+ public:
+  DatabaseSearch(const score::ScoreMatrix& matrix, AlignConfig cfg,
+                 SearchOptions opt = {});
+
+  // db is length-sorted in place when opt.sort_database is set.
+  SearchResult search(std::span<const std::uint8_t> query,
+                      seq::Database& db) const;
+
+  // Many-vs-all: runs each query against the database, reusing the sorted
+  // order and the worker pool configuration. Results are returned in
+  // query order.
+  std::vector<SearchResult> search_many(
+      const std::vector<std::vector<std::uint8_t>>& queries,
+      seq::Database& db) const;
+
+ private:
+  const score::ScoreMatrix& matrix_;
+  AlignConfig cfg_;
+  SearchOptions opt_;
+};
+
+}  // namespace aalign::search

@@ -1,0 +1,110 @@
+#include "search/inter_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/inter_engine.h"
+#include "search/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace aalign::search {
+
+namespace {
+// Padding-row score: strongly negative so finished lanes decay to zero.
+constexpr std::int32_t kPadScore = -64;
+}  // namespace
+
+InterSequenceSearch::InterSequenceSearch(const score::ScoreMatrix& matrix,
+                                         Penalties pen,
+                                         std::optional<simd::IsaKind> isa,
+                                         int threads)
+    : matrix_(matrix),
+      pen_(pen),
+      isa_(isa.value_or(simd::best_available_isa())),
+      threads_(threads) {
+  if (core::get_inter_engine(isa_) == nullptr) {
+    throw std::invalid_argument(
+        "InterSequenceSearch: backend unavailable on this machine");
+  }
+  const int alpha = matrix_.size();
+  flat_matrix_.resize(static_cast<std::size_t>(alpha + 1) * alpha);
+  for (int a = 0; a < alpha; ++a) {
+    for (int b = 0; b < alpha; ++b) {
+      flat_matrix_[static_cast<std::size_t>(a) * alpha + b] =
+          matrix_.at(a, b);
+    }
+  }
+  for (int b = 0; b < alpha; ++b) {
+    flat_matrix_[static_cast<std::size_t>(alpha) * alpha + b] = kPadScore;
+  }
+}
+
+int InterSequenceSearch::lanes() const {
+  return core::get_inter_engine(isa_)->lanes();
+}
+
+SearchResult InterSequenceSearch::search(
+    std::span<const std::uint8_t> query, seq::Database& db) const {
+  if (query.empty()) {
+    throw std::invalid_argument("InterSequenceSearch: empty query");
+  }
+  const core::InterEngine* engine = core::get_inter_engine(isa_);
+  const int W = engine->lanes();
+
+  db.sort_by_length_desc();  // batches become length-homogeneous
+  const std::size_t batches = (db.size() + W - 1) / W;
+
+  std::vector<long> scores(db.size());
+  const int threads = threads_ > 0 ? threads_ : default_thread_count();
+  std::vector<core::Workspace<std::int32_t>> ws(
+      static_cast<std::size_t>(std::max(1, threads)));
+
+  util::Stopwatch timer;
+  parallel_for_dynamic(batches, threads, [&](int id, std::size_t b) {
+    const std::size_t begin = b * static_cast<std::size_t>(W);
+    const std::size_t count = std::min<std::size_t>(W, db.size() - begin);
+
+    std::vector<const std::uint8_t*> ptrs(W);
+    std::vector<int> lens(W);
+    int max_len = 0;
+    for (int l = 0; l < W; ++l) {
+      // Tail batch: repeat the first subject in unused lanes (their
+      // scores are simply discarded).
+      const std::size_t idx = begin + (static_cast<std::size_t>(l) < count
+                                           ? static_cast<std::size_t>(l)
+                                           : 0);
+      ptrs[l] = db[idx].data.data();
+      lens[l] = static_cast<int>(db[idx].size());
+      max_len = std::max(max_len, lens[l]);
+    }
+
+    core::InterBatchInput in{flat_matrix_.data(), matrix_.size(), query,
+                             ptrs.data(), lens.data(), max_len};
+    std::vector<long> lane_scores(W);
+    engine->run(in, pen_, ws[static_cast<std::size_t>(id)],
+                lane_scores.data());
+    for (std::size_t l = 0; l < count; ++l) {
+      scores[begin + l] = lane_scores[l];
+    }
+  });
+
+  SearchResult res;
+  res.seconds = timer.seconds();
+  res.cells = query.size() * db.total_residues();
+  res.gcups = util::gcups_cells(res.cells, res.seconds);
+
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) hits.push_back({i, scores[i]});
+  const std::size_t k = std::min<std::size_t>(10, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      return a.score > b.score;
+                    });
+  hits.resize(k);
+  res.top = std::move(hits);
+  res.scores = std::move(scores);
+  return res;
+}
+
+}  // namespace aalign::search

@@ -1,0 +1,36 @@
+// Inter-sequence database search: batches of `lanes` subjects aligned
+// simultaneously, one per vector lane. Complements the intra-sequence
+// (striped) DatabaseSearch - the two SWAPHI modes the paper contrasts in
+// Sec. VI-C. Length-sorting the database makes batches length-homogeneous,
+// minimizing padding waste.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "search/database_search.h"
+
+namespace aalign::search {
+
+class InterSequenceSearch {
+ public:
+  // Local (Smith-Waterman) alignment only; 32-bit scores.
+  InterSequenceSearch(const score::ScoreMatrix& matrix, Penalties pen,
+                      std::optional<simd::IsaKind> isa = {},
+                      int threads = 0);
+
+  SearchResult search(std::span<const std::uint8_t> query,
+                      seq::Database& db) const;
+
+  int lanes() const;
+
+ private:
+  const score::ScoreMatrix& matrix_;
+  Penalties pen_;
+  simd::IsaKind isa_;
+  int threads_;
+  std::vector<std::int32_t> flat_matrix_;  // (alpha+1) x alpha with pad row
+};
+
+}  // namespace aalign::search

@@ -1,0 +1,49 @@
+#include "search/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+namespace aalign::search {
+
+int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for_dynamic(std::size_t count, int threads,
+                          const std::function<void(int, std::size_t)>& fn) {
+  threads = std::max(1, threads);
+  if (threads == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&](int id) {
+    try {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        fn(id, i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      // Drain remaining work so the other threads stop quickly.
+      next.store(count, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace aalign::search

@@ -1,0 +1,25 @@
+// Minimal thread pool with a dynamic work queue, the paper's Sec. V-E
+// "dynamic binding" of subjects to threads: workers pull the next item
+// index from a shared atomic counter, so a length-sorted database yields
+// near-perfect load balance without static partitioning.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aalign::search {
+
+// Runs fn(worker_id, item_index) for every index in [0, count) across
+// `threads` workers. Blocks until all items complete. Exceptions thrown by
+// fn are rethrown (first one wins) after all workers join.
+void parallel_for_dynamic(
+    std::size_t count, int threads,
+    const std::function<void(int, std::size_t)>& fn);
+
+// Sensible default worker count for this machine.
+int default_thread_count();
+
+}  // namespace aalign::search

@@ -1,0 +1,25 @@
+#include "seq/database.h"
+
+#include <algorithm>
+
+namespace aalign::seq {
+
+Database::Database(const score::Alphabet& alphabet,
+                   const std::vector<Sequence>& seqs) {
+  seqs_.reserve(seqs.size());
+  for (const Sequence& s : seqs) add(encode(alphabet, s));
+}
+
+void Database::add(EncodedSequence s) {
+  total_residues_ += s.size();
+  seqs_.push_back(std::move(s));
+}
+
+void Database::sort_by_length_desc() {
+  std::stable_sort(seqs_.begin(), seqs_.end(),
+                   [](const EncodedSequence& a, const EncodedSequence& b) {
+                     return a.size() > b.size();
+                   });
+}
+
+}  // namespace aalign::seq

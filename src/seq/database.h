@@ -1,0 +1,40 @@
+// Encoded sequence database for multi-threaded search (paper Sec. V-E).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "score/alphabet.h"
+#include "seq/sequence.h"
+
+namespace aalign::seq {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const score::Alphabet& alphabet,
+           const std::vector<Sequence>& seqs);
+
+  void add(EncodedSequence s);
+
+  // Longest-first ordering: with a dynamic work queue this gives near-
+  // perfect load balance (the paper's sort + dynamic binding mechanism).
+  void sort_by_length_desc();
+
+  std::size_t size() const { return seqs_.size(); }
+  bool empty() const { return seqs_.empty(); }
+  const EncodedSequence& operator[](std::size_t i) const { return seqs_[i]; }
+
+  // Total residue count (for GCUPS accounting).
+  std::size_t total_residues() const { return total_residues_; }
+
+  auto begin() const { return seqs_.begin(); }
+  auto end() const { return seqs_.end(); }
+
+ private:
+  std::vector<EncodedSequence> seqs_;
+  std::size_t total_residues_ = 0;
+};
+
+}  // namespace aalign::seq

@@ -1,0 +1,63 @@
+#include "seq/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aalign::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in) {
+  std::vector<Sequence> out;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      out.push_back(Sequence{line.substr(1), ""});
+      have_record = true;
+      continue;
+    }
+    if (line[0] == ';') continue;  // old-style comment lines
+    if (!have_record) {
+      throw std::runtime_error("FASTA: sequence data before any '>' header");
+    }
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        out.back().residues.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FASTA: cannot open " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 int wrap) {
+  for (const Sequence& s : seqs) {
+    out << '>' << s.id << '\n';
+    if (wrap <= 0) {
+      out << s.residues << '\n';
+      continue;
+    }
+    for (std::size_t pos = 0; pos < s.residues.size();
+         pos += static_cast<std::size_t>(wrap)) {
+      out << s.residues.substr(pos, static_cast<std::size_t>(wrap)) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs, int wrap) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FASTA: cannot open " + path);
+  write_fasta(out, seqs, wrap);
+}
+
+}  // namespace aalign::seq

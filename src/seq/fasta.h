@@ -1,0 +1,26 @@
+// Minimal, robust FASTA I/O. Real databases (Swiss-Prot, nr) can be dropped
+// into the benchmark harness through this reader; the synthetic generators
+// write the same format so every tool in the repo speaks FASTA.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace aalign::seq {
+
+// Parses all records from a stream/file. Accepts multi-line records, CRLF
+// line endings, and '*'-terminated protein records; skips blank lines.
+// Throws std::runtime_error on structural errors (data before any header,
+// unreadable file).
+std::vector<Sequence> read_fasta(std::istream& in);
+std::vector<Sequence> read_fasta_file(const std::string& path);
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 int wrap = 70);
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs, int wrap = 70);
+
+}  // namespace aalign::seq

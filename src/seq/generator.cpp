@@ -1,0 +1,58 @@
+#include "seq/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace aalign::seq {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid background frequencies, in the
+// BLOSUM alphabet order ARNDCQEGHILKMFPSTWYV.
+constexpr std::array<double, 20> kAaFreq = {
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+    0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+    0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+
+constexpr char kAaLetters[21] = "ARNDCQEGHILKMFPSTWYV";
+
+}  // namespace
+
+Sequence SequenceGenerator::protein(std::size_t len, std::string id) {
+  static const std::discrete_distribution<int> dist(kAaFreq.begin(),
+                                                    kAaFreq.end());
+  std::discrete_distribution<int> d = dist;
+  Sequence s;
+  s.id = id.empty() ? "Q" + std::to_string(len) : std::move(id);
+  s.residues.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) s.residues.push_back(kAaLetters[d(rng_)]);
+  return s;
+}
+
+Sequence SequenceGenerator::dna(std::size_t len, std::string id) {
+  static constexpr char bases[] = "ACGT";
+  std::uniform_int_distribution<int> d(0, 3);
+  Sequence s;
+  s.id = id.empty() ? "D" + std::to_string(len) : std::move(id);
+  s.residues.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) s.residues.push_back(bases[d(rng_)]);
+  return s;
+}
+
+std::vector<Sequence> SequenceGenerator::protein_database(
+    std::size_t count, double median_len, double sigma, std::size_t min_len,
+    std::size_t max_len) {
+  std::lognormal_distribution<double> length_dist(std::log(median_len), sigma);
+  std::vector<Sequence> db;
+  db.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double raw = length_dist(rng_);
+    const std::size_t len = std::clamp(
+        static_cast<std::size_t>(std::llround(raw)), min_len, max_len);
+    db.push_back(protein(len, "sp" + std::to_string(i)));
+  }
+  return db;
+}
+
+}  // namespace aalign::seq

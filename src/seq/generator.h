@@ -1,0 +1,44 @@
+// Synthetic sequence generation: the stand-in for NCBI's protein databases
+// (DESIGN.md Sec. 2). Protein residues are drawn from the Robinson-Robinson
+// background frequencies so substitution-score statistics (and therefore
+// kernel control flow: lazy-F rounds, saturation, hybrid switching) match
+// real database searches.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "score/alphabet.h"
+#include "seq/sequence.h"
+
+namespace aalign::seq {
+
+class SequenceGenerator {
+ public:
+  explicit SequenceGenerator(std::uint64_t seed = 0x5eedf00d)
+      : rng_(seed) {}
+
+  // Random protein of exactly `len` residues (background frequencies).
+  Sequence protein(std::size_t len, std::string id = "");
+
+  // Random DNA of exactly `len` bases (uniform ACGT).
+  Sequence dna(std::size_t len, std::string id = "");
+
+  // Swiss-Prot-like database: `count` proteins with log-normal lengths
+  // (Swiss-Prot's length distribution has median ~290, heavy right tail);
+  // lengths are clamped to [min_len, max_len].
+  std::vector<Sequence> protein_database(std::size_t count,
+                                         double median_len = 290.0,
+                                         double sigma = 0.55,
+                                         std::size_t min_len = 30,
+                                         std::size_t max_len = 5000);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace aalign::seq

@@ -1,0 +1,89 @@
+#include "seq/pairgen.h"
+
+#include <algorithm>
+
+namespace aalign::seq {
+
+const char* to_string(Level l) {
+  switch (l) {
+    case Level::Lo: return "lo";
+    case Level::Md: return "md";
+    case Level::Hi: return "hi";
+  }
+  return "?";
+}
+
+std::string SimilaritySpec::label() const {
+  return std::string(to_string(qc)) + "_" + to_string(mi);
+}
+
+double level_target(Level l) {
+  switch (l) {
+    case Level::Lo: return 0.15;
+    case Level::Md: return 0.50;
+    case Level::Hi: return 0.88;
+  }
+  return 0.5;
+}
+
+Sequence make_similar_subject(SequenceGenerator& gen, const Sequence& query,
+                              SimilaritySpec spec) {
+  static constexpr char kAaLetters[21] = "ARNDCQEGHILKMFPSTWYV";
+  std::mt19937_64& rng = gen.rng();
+  const std::size_t m = query.size();
+
+  const double qc = level_target(spec.qc);
+  const double mi = level_target(spec.mi);
+
+  const std::size_t window =
+      std::max<std::size_t>(8, static_cast<std::size_t>(qc * m));
+  std::uniform_int_distribution<std::size_t> offset_dist(0, m - std::min(m, window));
+  const std::size_t q_off = offset_dist(rng);
+
+  // Degrade the window: substitutions take identity to the target; a light
+  // indel load (scaled by dissimilarity) keeps the alignment realistic
+  // without destroying coverage.
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<int> aa(0, 19);
+  std::uniform_int_distribution<int> indel_len(1, 3);
+  const double sub_rate = 1.0 - mi;
+  const double indel_rate = 0.02 * (1.0 - mi);
+
+  std::string core;
+  core.reserve(window + 16);
+  for (std::size_t t = 0; t < window && q_off + t < m; ++t) {
+    const char qc_res = query.residues[q_off + t];
+    if (u(rng) < indel_rate) {
+      if (u(rng) < 0.5) {
+        // Insertion into the subject.
+        const int len = indel_len(rng);
+        for (int x = 0; x < len; ++x) core.push_back(kAaLetters[aa(rng)]);
+        core.push_back(qc_res);
+      } else {
+        // Deletion: skip this query residue.
+        continue;
+      }
+    } else if (u(rng) < sub_rate) {
+      char r = kAaLetters[aa(rng)];
+      while (r == qc_res) r = kAaLetters[aa(rng)];
+      core.push_back(r);
+    } else {
+      core.push_back(qc_res);
+    }
+  }
+
+  // Random flanks bring the subject close to the query length so the
+  // uncovered part of the query really is uncovered, not missing.
+  const std::size_t flank_total = m > core.size() ? m - core.size() : 0;
+  std::uniform_int_distribution<std::size_t> split_dist(0, flank_total);
+  const std::size_t left = split_dist(rng);
+  const std::size_t right = flank_total - left;
+
+  Sequence out;
+  out.id = query.id + "_" + spec.label();
+  out.residues = gen.protein(left).residues + core +
+                 gen.protein(right).residues;
+  return out;
+}
+
+}  // namespace aalign::seq

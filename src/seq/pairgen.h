@@ -1,0 +1,40 @@
+// Controlled-similarity pair generation for the Fig. 10 experiment.
+//
+// The paper picks 9 subjects from NCBI-BLAST hits at the 3x3 combinations
+// of query coverage (QC) and max identity (MI) bands {hi >70%, md 30-70%,
+// lo <30%}. We synthesize such subjects directly: copy a QC-sized window
+// of the query, degrade it to the target identity with substitutions and
+// short indels, and embed it between random flanks. Tests verify the
+// realized QC/MI (measured from an actual traceback) lands in the band.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "seq/generator.h"
+#include "seq/sequence.h"
+
+namespace aalign::seq {
+
+enum class Level : std::uint8_t { Lo, Md, Hi };
+
+const char* to_string(Level l);
+
+struct SimilaritySpec {
+  Level qc = Level::Hi;  // query coverage band
+  Level mi = Level::Hi;  // max identity band
+
+  // "hi_md" style label matching the paper's x-axis.
+  std::string label() const;
+};
+
+// Band centers used by the generator.
+double level_target(Level l);
+
+// Builds a subject hitting the spec against `query`. Subject length is
+// close to the query length; the conserved window is placed at a random
+// offset in both sequences.
+Sequence make_similar_subject(SequenceGenerator& gen, const Sequence& query,
+                              SimilaritySpec spec);
+
+}  // namespace aalign::seq

@@ -1,0 +1,13 @@
+#include "seq/sequence.h"
+
+namespace aalign::seq {
+
+EncodedSequence encode(const score::Alphabet& alphabet, const Sequence& s) {
+  return EncodedSequence{s.id, alphabet.encode(s.residues)};
+}
+
+Sequence decode(const score::Alphabet& alphabet, const EncodedSequence& s) {
+  return Sequence{s.id, alphabet.decode(s.data)};
+}
+
+}  // namespace aalign::seq

@@ -1,0 +1,33 @@
+// Sequence types shared by the I/O, generator, and search layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "score/alphabet.h"
+
+namespace aalign::seq {
+
+// A named sequence of raw residue characters (as read from FASTA).
+struct Sequence {
+  std::string id;
+  std::string residues;
+
+  std::size_t size() const { return residues.size(); }
+};
+
+// A sequence encoded to alphabet indices, ready for the kernels.
+struct EncodedSequence {
+  std::string id;
+  std::vector<std::uint8_t> data;
+
+  std::size_t size() const { return data.size(); }
+  std::span<const std::uint8_t> view() const { return data; }
+};
+
+EncodedSequence encode(const score::Alphabet& alphabet, const Sequence& s);
+Sequence decode(const score::Alphabet& alphabet, const EncodedSequence& s);
+
+}  // namespace aalign::seq

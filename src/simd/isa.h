@@ -1,0 +1,80 @@
+// ISA tags and runtime identification for the vector-module backends.
+//
+// AAlign's portability story (paper Sec. V-C): kernels are written once
+// against the vector-module API and re-linked per ISA. Here each ISA is a
+// tag type; `VecOps<T, IsaTag>` (vec_*.h) provides the primitive layer and
+// `modules.h` the paper's Table I module layer on top of it.
+//
+// Backend inventory and the hardware it stands in for:
+//   ScalarTag  - portable fallback (also the test oracle's twin)
+//   Sse41Tag   - 128-bit SSE4.1 (Farrar's original target)
+//   Avx2Tag    - 256-bit AVX2 ("CPU"/Haswell in the paper)
+//   Avx512Tag  - 512-bit AVX-512, restricted to 32-bit lanes to mirror the
+//                paper's IMCI/Knights-Corner target ("MIC"); mask registers
+//                play the role of IMCI's 16-bit masks
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aalign::simd {
+
+struct ScalarTag {
+  static constexpr const char* kName = "scalar";
+};
+struct Sse41Tag {
+  static constexpr const char* kName = "sse41";
+};
+struct Avx2Tag {
+  static constexpr const char* kName = "avx2";
+};
+struct Avx512Tag {
+  static constexpr const char* kName = "avx512";
+};
+// Extended 512-bit backend: full 8/16/32-bit lane support via AVX-512
+// BW+VBMI (the "incoming AVX-512" the paper's Sec. II-A anticipates; VBMI
+// supplies the cross-lane byte permute that rshift_x_fill needs for 8-bit
+// lanes). Ice Lake and newer.
+struct Avx512BwTag {
+  static constexpr const char* kName = "avx512bw";
+};
+
+enum class IsaKind : std::uint8_t {
+  Scalar = 0,
+  Sse41,
+  Avx2,
+  Avx512,
+  Avx512Bw,
+};
+
+inline constexpr IsaKind kAllIsaKinds[] = {IsaKind::Scalar, IsaKind::Sse41,
+                                           IsaKind::Avx2, IsaKind::Avx512,
+                                           IsaKind::Avx512Bw};
+
+template <class Isa>
+constexpr IsaKind isa_kind();
+
+template <>
+constexpr IsaKind isa_kind<ScalarTag>() { return IsaKind::Scalar; }
+template <>
+constexpr IsaKind isa_kind<Sse41Tag>() { return IsaKind::Sse41; }
+template <>
+constexpr IsaKind isa_kind<Avx2Tag>() { return IsaKind::Avx2; }
+template <>
+constexpr IsaKind isa_kind<Avx512Tag>() { return IsaKind::Avx512; }
+template <>
+constexpr IsaKind isa_kind<Avx512BwTag>() { return IsaKind::Avx512Bw; }
+
+const char* isa_name(IsaKind kind);
+
+// True when the running CPU can execute the backend (compiled-in or not).
+bool isa_supported_by_cpu(IsaKind kind);
+
+// True when the backend was compiled into this binary AND the CPU supports
+// it; this is the predicate the dispatcher uses.
+bool isa_available(IsaKind kind);
+
+// Best available ISA in preference order avx512 > avx2 > sse41 > scalar.
+IsaKind best_available_isa();
+
+}  // namespace aalign::simd

@@ -1,0 +1,129 @@
+// AVX2 backend (256-bit): 32 x int8, 16 x int16, 8 x int32.
+//
+// This is the paper's "CPU"/Haswell target. The interesting primitive is
+// shift_insert (the paper's rshift_x_fill, Fig. 7): AVX2 has no cross-lane
+// byte shift, so for 8/16-bit lanes we splice the two 128-bit lanes with
+// permute2x128 + alignr, and for 32-bit lanes we use the cross-lane
+// permutevar8x32 followed by a blend of the fill value - exactly the
+// instruction selection the paper describes.
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace aalign::simd {
+
+template <class T, class Isa>
+struct VecOps;
+
+template <>
+struct VecOps<std::int8_t, Avx2Tag> {
+  using value_type = std::int8_t;
+  using reg = __m256i;
+  static constexpr int kWidth = 32;
+
+  static reg load(const value_type* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm256_set1_epi8(x); }
+  static reg adds(reg a, reg b) { return _mm256_adds_epi8(a, b); }
+  static reg subs(reg a, reg b) { return _mm256_subs_epi8(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_epi8(a, b); }
+  static reg min(reg a, reg b) { return _mm256_min_epi8(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm256_movemask_epi8(_mm256_cmpgt_epi8(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    // t = [0 ; v_low]; alignr stitches the lane-crossing byte.
+    const reg t = _mm256_permute2x128_si256(v, v, 0x08);
+    reg r = _mm256_alignr_epi8(v, t, 15);
+    return _mm256_insert_epi8(r, fill, 0);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+};
+
+template <>
+struct VecOps<std::int16_t, Avx2Tag> {
+  using value_type = std::int16_t;
+  using reg = __m256i;
+  static constexpr int kWidth = 16;
+
+  static reg load(const value_type* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm256_set1_epi16(x); }
+  static reg adds(reg a, reg b) { return _mm256_adds_epi16(a, b); }
+  static reg subs(reg a, reg b) { return _mm256_subs_epi16(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_epi16(a, b); }
+  static reg min(reg a, reg b) { return _mm256_min_epi16(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    const reg t = _mm256_permute2x128_si256(v, v, 0x08);
+    reg r = _mm256_alignr_epi8(v, t, 14);
+    return _mm256_insert_epi16(r, fill, 0);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+};
+
+template <>
+struct VecOps<std::int32_t, Avx2Tag> {
+  using value_type = std::int32_t;
+  using reg = __m256i;
+  static constexpr int kWidth = 8;
+
+  static reg load(const value_type* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm256_set1_epi32(x); }
+  static reg adds(reg a, reg b) { return _mm256_add_epi32(a, b); }
+  static reg subs(reg a, reg b) { return _mm256_sub_epi32(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_epi32(a, b); }
+  static reg min(reg a, reg b) { return _mm256_min_epi32(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm256_movemask_epi8(_mm256_cmpgt_epi32(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    const reg idx = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+    const reg r = _mm256_permutevar8x32_epi32(v, idx);
+    return _mm256_blend_epi32(r, _mm256_set1_epi32(fill), 0x01);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static reg gather(const value_type* base, reg idx) {
+    return _mm256_i32gather_epi32(base, idx, 4);
+  }
+};
+
+}  // namespace aalign::simd
+
+#endif  // __AVX2__

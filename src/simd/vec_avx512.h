@@ -1,0 +1,60 @@
+// AVX-512 backend (512-bit), the stand-in for the paper's IMCI/Knights
+// Corner "MIC" target.
+//
+// Faithfulness notes:
+//  - IMCI supports only 32-bit integer lanes; we keep the same restriction
+//    so kernel behaviour (16 x int32 per vector) matches the paper's MIC
+//    configuration.
+//  - influence_test on IMCI produces a 16-bit mask register that is tested
+//    with a single compare; AVX-512's __mmask16 gives the identical shape
+//    (contrast with AVX2, where the mask lives in a 256-bit vector and
+//    needs movemask - the exact asymmetry Sec. V-C discusses).
+//  - rshift_x_fill uses a cross-lane permutexvar plus a masked broadcast,
+//    the AVX-512 equivalent of IMCI's permutevar + swizzle combination.
+#pragma once
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace aalign::simd {
+
+template <class T, class Isa>
+struct VecOps;
+
+template <>
+struct VecOps<std::int32_t, Avx512Tag> {
+  using value_type = std::int32_t;
+  using reg = __m512i;
+  static constexpr int kWidth = 16;
+
+  static reg load(const value_type* p) { return _mm512_load_si512(p); }
+  static void store(value_type* p, reg v) { _mm512_store_si512(p, v); }
+  static reg set1(value_type x) { return _mm512_set1_epi32(x); }
+  static reg adds(reg a, reg b) { return _mm512_add_epi32(a, b); }
+  static reg subs(reg a, reg b) { return _mm512_sub_epi32(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_epi32(a, b); }
+  static reg min(reg a, reg b) { return _mm512_min_epi32(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm512_cmpgt_epi32_mask(a, b) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    const reg idx = _mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                      12, 13, 14);
+    const reg r = _mm512_permutexvar_epi32(idx, v);
+    return _mm512_mask_mov_epi32(r, __mmask16(1), _mm512_set1_epi32(fill));
+  }
+  static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
+  static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+  static reg gather(const value_type* base, reg idx) {
+    return _mm512_i32gather_epi32(idx, base, 4);
+  }
+};
+
+}  // namespace aalign::simd
+
+#endif  // __AVX512F__

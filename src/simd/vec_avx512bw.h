@@ -1,0 +1,116 @@
+// Extended AVX-512 backend (512-bit with BW+VBMI): 64 x int8, 32 x int16,
+// 16 x int32.
+//
+// This is the forward-port the paper's Sec. II-A anticipates ("the
+// incoming AVX-512"): the same kernel templates that ran on IMCI-profile
+// 32-bit lanes get narrow integer lanes back, doubling/quadrupling lane
+// counts. The cross-lane rshift_x_fill uses permutexvar at the lane
+// granularity - epi8 requires VBMI, which is why this backend gates on
+// Ice-Lake-and-newer CPUs while vec_avx512.h runs anywhere with F+BW+VL.
+#pragma once
+
+#if defined(__AVX512BW__) && defined(__AVX512VBMI__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace aalign::simd {
+
+template <class T, class Isa>
+struct VecOps;
+
+template <>
+struct VecOps<std::int8_t, Avx512BwTag> {
+  using value_type = std::int8_t;
+  using reg = __m512i;
+  static constexpr int kWidth = 64;
+
+  static reg load(const value_type* p) { return _mm512_load_si512(p); }
+  static void store(value_type* p, reg v) { _mm512_store_si512(p, v); }
+  static reg set1(value_type x) { return _mm512_set1_epi8(x); }
+  static reg adds(reg a, reg b) { return _mm512_adds_epi8(a, b); }
+  static reg subs(reg a, reg b) { return _mm512_subs_epi8(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_epi8(a, b); }
+  static reg min(reg a, reg b) { return _mm512_min_epi8(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm512_cmpgt_epi8_mask(a, b) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    static const reg idx = [] {
+      alignas(64) std::int8_t a[64];
+      a[0] = 0;
+      for (int l = 1; l < 64; ++l) a[l] = static_cast<std::int8_t>(l - 1);
+      return _mm512_load_si512(a);
+    }();
+    const reg r = _mm512_permutexvar_epi8(idx, v);
+    return _mm512_mask_mov_epi8(r, __mmask64{1}, _mm512_set1_epi8(fill));
+  }
+  static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
+  static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+};
+
+template <>
+struct VecOps<std::int16_t, Avx512BwTag> {
+  using value_type = std::int16_t;
+  using reg = __m512i;
+  static constexpr int kWidth = 32;
+
+  static reg load(const value_type* p) { return _mm512_load_si512(p); }
+  static void store(value_type* p, reg v) { _mm512_store_si512(p, v); }
+  static reg set1(value_type x) { return _mm512_set1_epi16(x); }
+  static reg adds(reg a, reg b) { return _mm512_adds_epi16(a, b); }
+  static reg subs(reg a, reg b) { return _mm512_subs_epi16(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_epi16(a, b); }
+  static reg min(reg a, reg b) { return _mm512_min_epi16(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm512_cmpgt_epi16_mask(a, b) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    static const reg idx = [] {
+      alignas(64) std::int16_t a[32];
+      a[0] = 0;
+      for (int l = 1; l < 32; ++l) a[l] = static_cast<std::int16_t>(l - 1);
+      return _mm512_load_si512(a);
+    }();
+    const reg r = _mm512_permutexvar_epi16(idx, v);
+    return _mm512_mask_mov_epi16(r, __mmask32{1}, _mm512_set1_epi16(fill));
+  }
+  static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
+  static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+};
+
+template <>
+struct VecOps<std::int32_t, Avx512BwTag> {
+  using value_type = std::int32_t;
+  using reg = __m512i;
+  static constexpr int kWidth = 16;
+
+  static reg load(const value_type* p) { return _mm512_load_si512(p); }
+  static void store(value_type* p, reg v) { _mm512_store_si512(p, v); }
+  static reg set1(value_type x) { return _mm512_set1_epi32(x); }
+  static reg adds(reg a, reg b) { return _mm512_add_epi32(a, b); }
+  static reg subs(reg a, reg b) { return _mm512_sub_epi32(a, b); }
+  static reg max(reg a, reg b) { return _mm512_max_epi32(a, b); }
+  static reg min(reg a, reg b) { return _mm512_min_epi32(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm512_cmpgt_epi32_mask(a, b) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    const reg idx = _mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                      12, 13, 14);
+    const reg r = _mm512_permutexvar_epi32(idx, v);
+    return _mm512_mask_mov_epi32(r, __mmask16{1}, _mm512_set1_epi32(fill));
+  }
+  static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
+  static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+  static reg gather(const value_type* base, reg idx) {
+    return _mm512_i32gather_epi32(idx, base, 4);
+  }
+};
+
+}  // namespace aalign::simd
+
+#endif  // __AVX512BW__ && __AVX512VBMI__

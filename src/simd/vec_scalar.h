@@ -1,0 +1,105 @@
+// Scalar implementation of the vector-primitive contract.
+//
+// This backend is both the portable fallback and the semantic reference the
+// hardware backends are tested against. It emulates an 8-lane register with
+// a plain array; saturation behaviour matches the x86 `adds/subs`
+// instructions exactly (see util/saturate.h).
+//
+// The VecOps<T, Isa> contract implemented by every backend:
+//   value_type, reg, kWidth
+//   load/store      : aligned (64 B) register moves
+//   set1            : broadcast
+//   adds/subs       : saturating for 8/16-bit lanes, wrapping for 32-bit
+//   max/min         : per-lane signed
+//   any_gt(a, b)    : true if a[l] > b[l] in any lane (influence_test core)
+//   shift_insert    : lane l -> lane l+1, lane 0 = fill (the paper's
+//                     rshift_x_fill with n = 1; "right" is in element-index
+//                     order, i.e. a byte-wise left shift of the register)
+//   to_array/from_array : unaligned spills used by cold generic paths
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "simd/isa.h"
+#include "util/saturate.h"
+
+namespace aalign::simd {
+
+template <class T, class Isa>
+struct VecOps;  // primary template intentionally undefined
+
+template <class T>
+struct ScalarReg {
+  T lane[8];
+};
+
+template <class T>
+struct VecOps<T, ScalarTag> {
+  using value_type = T;
+  using reg = ScalarReg<T>;
+  static constexpr int kWidth = 8;
+
+  static reg load(const T* p) {
+    reg r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  static void store(T* p, reg v) { std::memcpy(p, v.lane, sizeof(v.lane)); }
+
+  static reg set1(T x) {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = x;
+    return r;
+  }
+
+  static reg adds(reg a, reg b) {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = util::sat_add(a.lane[l], b.lane[l]);
+    return r;
+  }
+  static reg subs(reg a, reg b) {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = util::sat_sub(a.lane[l], b.lane[l]);
+    return r;
+  }
+
+  static reg max(reg a, reg b) {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = a.lane[l] > b.lane[l] ? a.lane[l] : b.lane[l];
+    return r;
+  }
+  static reg min(reg a, reg b) {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = a.lane[l] < b.lane[l] ? a.lane[l] : b.lane[l];
+    return r;
+  }
+
+  static bool any_gt(reg a, reg b) {
+    for (int l = 0; l < kWidth; ++l)
+      if (a.lane[l] > b.lane[l]) return true;
+    return false;
+  }
+
+  static reg shift_insert(reg v, T fill) {
+    reg r;
+    r.lane[0] = fill;
+    for (int l = 1; l < kWidth; ++l) r.lane[l] = v.lane[l - 1];
+    return r;
+  }
+
+  static void to_array(reg v, T* out) { std::memcpy(out, v.lane, sizeof(v.lane)); }
+  static reg from_array(const T* p) { return load(p); }
+
+  // Per-lane table lookup (int32 lanes only): r[l] = base[idx[l]].
+  // Used by the inter-sequence kernel's substitution fetch.
+  static reg gather(const T* base, reg idx)
+    requires(sizeof(T) == 4)
+  {
+    reg r;
+    for (int l = 0; l < kWidth; ++l) r.lane[l] = base[idx.lane[l]];
+    return r;
+  }
+};
+
+}  // namespace aalign::simd

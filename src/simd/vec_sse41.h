@@ -1,0 +1,128 @@
+// SSE4.1 backend (128-bit): 16 x int8, 8 x int16, 4 x int32.
+//
+// This is the ISA Farrar's original striped Smith-Waterman targeted; it is
+// compiled only into TUs built with -msse4.1 (src/CMakeLists.txt) and the
+// dispatcher guards it behind a cpuid check.
+#pragma once
+
+#if defined(__SSE4_1__)
+
+#include <smmintrin.h>
+
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace aalign::simd {
+
+template <class T, class Isa>
+struct VecOps;
+
+template <>
+struct VecOps<std::int8_t, Sse41Tag> {
+  using value_type = std::int8_t;
+  using reg = __m128i;
+  static constexpr int kWidth = 16;
+
+  static reg load(const value_type* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm_set1_epi8(x); }
+  static reg adds(reg a, reg b) { return _mm_adds_epi8(a, b); }
+  static reg subs(reg a, reg b) { return _mm_subs_epi8(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_epi8(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_epi8(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm_movemask_epi8(_mm_cmpgt_epi8(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    reg r = _mm_slli_si128(v, 1);  // byte left-shift = lane l -> l+1
+    return _mm_insert_epi8(r, fill, 0);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+};
+
+template <>
+struct VecOps<std::int16_t, Sse41Tag> {
+  using value_type = std::int16_t;
+  using reg = __m128i;
+  static constexpr int kWidth = 8;
+
+  static reg load(const value_type* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm_set1_epi16(x); }
+  static reg adds(reg a, reg b) { return _mm_adds_epi16(a, b); }
+  static reg subs(reg a, reg b) { return _mm_subs_epi16(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_epi16(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_epi16(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm_movemask_epi8(_mm_cmpgt_epi16(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    reg r = _mm_slli_si128(v, 2);
+    return _mm_insert_epi16(r, fill, 0);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+};
+
+template <>
+struct VecOps<std::int32_t, Sse41Tag> {
+  using value_type = std::int32_t;
+  using reg = __m128i;
+  static constexpr int kWidth = 4;
+
+  static reg load(const value_type* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(value_type* p, reg v) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static reg set1(value_type x) { return _mm_set1_epi32(x); }
+  // 32-bit kernels rely on range checks, not saturation (matches x86: there
+  // is no adds_epi32 before AVX-512VL anyway).
+  static reg adds(reg a, reg b) { return _mm_add_epi32(a, b); }
+  static reg subs(reg a, reg b) { return _mm_sub_epi32(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_epi32(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_epi32(a, b); }
+  static bool any_gt(reg a, reg b) {
+    return _mm_movemask_epi8(_mm_cmpgt_epi32(a, b)) != 0;
+  }
+  static reg shift_insert(reg v, value_type fill) {
+    reg r = _mm_slli_si128(v, 4);
+    return _mm_insert_epi32(r, fill, 0);
+  }
+  static void to_array(reg v, value_type* out) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
+  }
+  static reg from_array(const value_type* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  // SSE4.1 has no gather instruction; extract/insert emulation.
+  static reg gather(const value_type* base, reg idx) {
+    return _mm_setr_epi32(base[_mm_extract_epi32(idx, 0)],
+                          base[_mm_extract_epi32(idx, 1)],
+                          base[_mm_extract_epi32(idx, 2)],
+                          base[_mm_extract_epi32(idx, 3)]);
+  }
+};
+
+}  // namespace aalign::simd
+
+#endif  // __SSE4_1__

@@ -1,0 +1,97 @@
+// Cache-line/vector aligned RAII buffer used for all kernel working sets.
+//
+// Alignment is fixed at 64 bytes so one buffer type serves every backend
+// (SSE needs 16, AVX2 32, AVX-512 64). The buffer never shrinks its
+// allocation on resize, which lets the database-search threads reuse one
+// buffer across subjects of descending length without reallocating.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+namespace aalign::util {
+
+inline constexpr std::size_t kVectorAlignment = 64;
+
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  // Grows capacity if needed; contents are NOT preserved on reallocation
+  // (kernel buffers are fully rewritten each alignment).
+  void resize(std::size_t count) {
+    if (count > capacity_) {
+      release();
+      const std::size_t bytes = round_up(count * sizeof(T), kVectorAlignment);
+      data_ = static_cast<T*>(std::aligned_alloc(kVectorAlignment, bytes));
+      if (data_ == nullptr) throw std::bad_alloc();
+      capacity_ = count;
+    }
+    size_ = count;
+  }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  void zero() {
+    if (size_ != 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  static std::size_t round_up(std::size_t n, std::size_t a) {
+    return (n + a - 1) / a * a;
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace aalign::util

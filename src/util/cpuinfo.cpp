@@ -1,0 +1,26 @@
+#include "util/cpuinfo.h"
+
+namespace aalign::util {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  __builtin_cpu_init();
+  f.sse41 = __builtin_cpu_supports("sse4.1");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512 = __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+  f.avx512vbmi = f.avx512 && __builtin_cpu_supports("avx512vbmi");
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = detect();
+  return features;
+}
+
+}  // namespace aalign::util

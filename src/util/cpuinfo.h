@@ -1,0 +1,16 @@
+// Runtime CPU feature detection guarding the backend dispatch.
+#pragma once
+
+namespace aalign::util {
+
+struct CpuFeatures {
+  bool sse41 = false;
+  bool avx2 = false;
+  bool avx512 = false;      // F+BW+VL (the IMCI-profile backend's needs)
+  bool avx512vbmi = false;  // +VBMI (the extended 8/16-bit 512-bit backend)
+};
+
+// Detected once at first call; cheap afterwards.
+const CpuFeatures& cpu_features();
+
+}  // namespace aalign::util

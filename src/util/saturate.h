@@ -1,0 +1,42 @@
+// Scalar saturating arithmetic mirroring the semantics of the SSE/AVX
+// `adds/subs` instructions. The scalar SIMD backend and the 8/16-bit kernel
+// oracles are built on these, so vector and scalar paths clamp identically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace aalign::util {
+
+template <class T>
+constexpr T sat_add(T a, T b) {
+  static_assert(std::is_signed_v<T> && std::is_integral_v<T>);
+  if constexpr (sizeof(T) >= 4) {
+    // 32-bit kernels use wrapping adds (matching _mm*_add_epi32); range
+    // checks happen at configuration time instead.
+    return static_cast<T>(static_cast<std::make_unsigned_t<T>>(a) +
+                          static_cast<std::make_unsigned_t<T>>(b));
+  } else {
+    const int wide = static_cast<int>(a) + static_cast<int>(b);
+    if (wide > std::numeric_limits<T>::max()) return std::numeric_limits<T>::max();
+    if (wide < std::numeric_limits<T>::min()) return std::numeric_limits<T>::min();
+    return static_cast<T>(wide);
+  }
+}
+
+template <class T>
+constexpr T sat_sub(T a, T b) {
+  static_assert(std::is_signed_v<T> && std::is_integral_v<T>);
+  if constexpr (sizeof(T) >= 4) {
+    return static_cast<T>(static_cast<std::make_unsigned_t<T>>(a) -
+                          static_cast<std::make_unsigned_t<T>>(b));
+  } else {
+    const int wide = static_cast<int>(a) - static_cast<int>(b);
+    if (wide > std::numeric_limits<T>::max()) return std::numeric_limits<T>::max();
+    if (wide < std::numeric_limits<T>::min()) return std::numeric_limits<T>::min();
+    return static_cast<T>(wide);
+  }
+}
+
+}  // namespace aalign::util

@@ -1,0 +1,34 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness and the
+// hybrid-strategy instrumentation.
+#pragma once
+
+#include <chrono>
+
+namespace aalign::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Giga cell updates per second: the standard throughput metric for
+// alignment kernels (query length x subject length cells).
+double gcups(std::size_t query_len, std::size_t subject_len, double seconds);
+
+// Accumulated variant for database search (sum of m*n over subjects).
+double gcups_cells(std::size_t cells, double seconds);
+
+}  // namespace aalign::util

@@ -1,0 +1,131 @@
+// Banded global alignment (exactness guarantees, lower-bound property)
+// and Karlin-Altschul statistics (lambda root, bit scores, E-values).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/banded.h"
+#include "core/sequential.h"
+#include "score/evalue.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+AlignConfig global_cfg(Penalties pen) {
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Global;
+  cfg.pen = pen;
+  return cfg;
+}
+
+TEST(Banded, WideBandEqualsOracle) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+  std::mt19937_64 rng(71);
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto q = test::random_protein(rng, 60 + iter * 23);
+    const auto s = test::mutate(rng, q, 0.2, 0.05);
+    const long full =
+        core::align_sequential(m, global_cfg(pen), q, s);
+    const long band = static_cast<long>(std::max(q.size(), s.size()));
+    EXPECT_EQ(core::align_banded_global(m, pen, q, s, band), full);
+  }
+}
+
+TEST(Banded, NarrowBandIsLowerBoundAndMonotone) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+  std::mt19937_64 rng(72);
+  const auto q = test::random_protein(rng, 300);
+  const auto s = test::mutate(rng, q, 0.3, 0.15);  // gappy pair
+  const long full = core::align_sequential(m, global_cfg(pen), q, s);
+
+  long prev = std::numeric_limits<long>::min();
+  const long diff = std::labs(static_cast<long>(q.size()) -
+                              static_cast<long>(s.size()));
+  for (long band = diff + 1; band <= 300; band *= 2) {
+    const long banded = core::align_banded_global(m, pen, q, s, band);
+    EXPECT_LE(banded, full) << "band " << band;
+    EXPECT_GE(banded, prev) << "band " << band;  // monotone in band width
+    prev = banded;
+  }
+  EXPECT_EQ(prev, full);  // widest tested band reaches the optimum
+}
+
+TEST(Banded, AutoIsExact) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+  std::mt19937_64 rng(73);
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto q = test::random_protein(rng, 200 + iter * 101);
+    const auto s = test::mutate(rng, q, 0.05 + 0.1 * iter, 0.03);
+    EXPECT_EQ(core::align_banded_global_auto(m, pen, q, s),
+              core::align_sequential(m, global_cfg(pen), q, s))
+        << "iter " << iter;
+  }
+}
+
+TEST(Banded, RejectsTooNarrowBand) {
+  const auto& alpha = score::Alphabet::protein();
+  const auto& m = score::ScoreMatrix::blosum62();
+  EXPECT_THROW(core::align_banded_global(m, Penalties::symmetric(10, 2),
+                                         alpha.encode("A"),
+                                         alpha.encode("AAAAAAAA"), 3),
+               std::invalid_argument);
+}
+
+TEST(Evalue, Blosum62LambdaMatchesPublishedValue) {
+  // Karlin-Altschul ungapped lambda for BLOSUM62 with Robinson-Robinson
+  // frequencies is ~0.318 nats (the canonical BLAST value is 0.3176).
+  const auto bg = score::protein_background();
+  const score::KarlinParams p =
+      score::compute_ungapped_params(score::ScoreMatrix::blosum62(), bg);
+  EXPECT_NEAR(p.lambda, 0.3176, 0.01);
+  EXPECT_GT(p.H, 0.0);
+}
+
+TEST(Evalue, LambdaRootProperty) {
+  // The defining identity: sum p_i p_j exp(lambda * s_ij) == 1.
+  const auto bg = score::protein_background();
+  for (const score::ScoreMatrix* m :
+       {&score::ScoreMatrix::blosum62(), &score::ScoreMatrix::blosum45(),
+        &score::ScoreMatrix::blosum80()}) {
+    const score::KarlinParams p = score::compute_ungapped_params(*m, bg);
+    double total = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      for (int j = 0; j < 20; ++j) {
+        total += bg[static_cast<std::size_t>(i)] *
+                 bg[static_cast<std::size_t>(j)] *
+                 std::exp(p.lambda * m->at(i, j));
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6) << m->name();
+  }
+}
+
+TEST(Evalue, RejectsNonNegativeExpectation) {
+  // A match-heavy matrix with positive expected score has no lambda.
+  const score::ScoreMatrix m = score::ScoreMatrix::dna(5, 1);
+  std::array<double, 32> bg{};
+  for (int i = 0; i < 4; ++i) bg[static_cast<std::size_t>(i)] = 0.25;
+  EXPECT_THROW(score::compute_ungapped_params(m, bg), std::invalid_argument);
+}
+
+TEST(Evalue, BitScoreAndEvalueBehaviour) {
+  const score::KarlinParams p =
+      score::default_protein_params(score::ScoreMatrix::blosum62());
+  // Bit score grows linearly with raw score.
+  EXPECT_GT(score::bit_score(p, 100), score::bit_score(p, 50));
+  // E-value decays with score, grows with search space.
+  EXPECT_LT(score::e_value(p, 100, 300, 1000000),
+            score::e_value(p, 50, 300, 1000000));
+  EXPECT_LT(score::e_value(p, 100, 300, 1000000),
+            score::e_value(p, 100, 300, 100000000));
+  // A strong hit in a small database is significant.
+  EXPECT_LT(score::e_value(p, 300, 300, 1000000), 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Striping boundary conditions: query lengths straddling every lane/segment
+// boundary (m = k*V +/- 1 and friends) are where striped kernels
+// historically break (padding, rshift carry, lazy-F wrap). Sweep them all
+// against the oracle on every backend.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aligner.h"
+#include "core/sequential.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+class Boundaries : public testing::TestWithParam<simd::IsaKind> {};
+
+TEST_P(Boundaries, QueryLengthsAroundLaneMultiples) {
+  const simd::IsaKind isa = GetParam();
+  const auto* engine = core::get_engine<std::int32_t>(isa);
+  ASSERT_NE(engine, nullptr);
+  const int V = engine->lanes();
+
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(2024);
+
+  std::vector<std::size_t> lengths = {1, 2};
+  for (int mult : {1, 2, 3, 7}) {
+    const int base = mult * V;
+    if (base > 1) lengths.push_back(static_cast<std::size_t>(base - 1));
+    lengths.push_back(static_cast<std::size_t>(base));
+    lengths.push_back(static_cast<std::size_t>(base + 1));
+  }
+
+  for (AlignKind kind :
+       {AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal,
+          AlignKind::SemiGlobalQuery, AlignKind::Overlap}) {
+    AlignConfig cfg;
+    cfg.kind = kind;
+    cfg.pen = Penalties::symmetric(10, 2);
+    for (std::size_t mlen : lengths) {
+      const auto q = test::random_protein(rng, mlen);
+      const auto s = test::mutate(rng, q, 0.3, 0.05);
+      const long expect = core::align_sequential(m, cfg, q, s);
+      for (Strategy strat : {Strategy::StripedIterate, Strategy::StripedScan,
+                             Strategy::Hybrid}) {
+        AlignOptions opt;
+        opt.isa = isa;
+        opt.width = ScoreWidth::W32;
+        opt.strategy = strat;
+        ASSERT_EQ(align_pair(m, cfg, q, s, opt).score, expect)
+            << simd::isa_name(isa) << " " << to_string(kind) << " "
+            << to_string(strat) << " m=" << mlen;
+      }
+    }
+  }
+}
+
+TEST_P(Boundaries, SubjectShorterThanOneColumnBlock) {
+  // n in {1..4}: hybrid windows/strides exceed the subject entirely.
+  const simd::IsaKind isa = GetParam();
+  if (core::get_engine<std::int32_t>(isa) == nullptr) GTEST_SKIP();
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(2025);
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  for (std::size_t n = 1; n <= 4; ++n) {
+    const auto q = test::random_protein(rng, 100);
+    const auto s = test::random_protein(rng, n);
+    AlignOptions opt;
+    opt.isa = isa;
+    opt.strategy = Strategy::Hybrid;
+    opt.hybrid.window = 64;
+    ASSERT_EQ(align_pair(m, cfg, q, s, opt).score,
+              core::align_sequential(m, cfg, q, s))
+        << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, Boundaries,
+                         testing::ValuesIn(test::available_isas()),
+                         [](const testing::TestParamInfo<simd::IsaKind>& i) {
+                           return std::string(simd::isa_name(i.param));
+                         });
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Configuration layer: validation, gap-model derivation, width pre-checks
+// (min_safe_width), and the Farrar-safety predicate.
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+using namespace aalign;
+
+namespace {
+
+TEST(Config, GapModelDerivation) {
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+  EXPECT_EQ(cfg.gap_model(), GapModel::Affine);
+  cfg.pen = Penalties::symmetric(0, 4);
+  EXPECT_EQ(cfg.gap_model(), GapModel::Linear);
+}
+
+TEST(Config, ValidationRejectsBadPenalties) {
+  AlignConfig cfg;
+  cfg.pen.query.extend = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.pen.subject.open = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // Mixed linear/affine is rejected.
+  cfg = {};
+  cfg.pen.query = GapScheme{0, 4};
+  cfg.pen.subject = GapScheme{10, 2};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, FarrarSafety) {
+  const auto& blosum = score::ScoreMatrix::blosum62();  // min -4
+  EXPECT_TRUE(farrar_safe(blosum, Penalties::symmetric(10, 2)));   // -4 >= -4
+  EXPECT_TRUE(farrar_safe(blosum, Penalties::symmetric(0, 4)));    // -4 >= -8
+  EXPECT_FALSE(farrar_safe(blosum, Penalties::symmetric(10, 1)));  // -4 < -2
+
+  // A mild matrix makes small extends safe again.
+  const score::ScoreMatrix dna = score::ScoreMatrix::dna(2, 1);
+  EXPECT_TRUE(farrar_safe(dna, Penalties::symmetric(10, 1)));
+}
+
+TEST(Config, MinSafeWidthLocal) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  // Tiny problem: max score ~ 10*11 = 110 < 127-headroom? headroom ~35 ->
+  // needs int16. Slightly conservative is fine; must never be wider than
+  // int16 here and never narrower than what the bound implies.
+  const ScoreWidth w_small = min_safe_width(cfg, m, 5, 5);
+  EXPECT_LE(static_cast<int>(w_small), static_cast<int>(ScoreWidth::W16));
+  // 10k identical residues: bound ~110k -> int32.
+  EXPECT_EQ(min_safe_width(cfg, m, 10000, 10000), ScoreWidth::W32);
+  // 1k: bound ~11k -> int16.
+  EXPECT_EQ(min_safe_width(cfg, m, 1000, 1000), ScoreWidth::W16);
+}
+
+TEST(Config, MinSafeWidthGlobalCountsBoundaries) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Global;
+  cfg.pen = Penalties::symmetric(10, 2);
+  // Local would allow narrow widths at this size, but global boundary
+  // gaps reach -(10 + 600*2) and mismatches can stack: needs wider.
+  const ScoreWidth local_w = [&] {
+    AlignConfig c = cfg;
+    c.kind = AlignKind::Local;
+    return min_safe_width(c, m, 40, 40);
+  }();
+  const ScoreWidth global_w = min_safe_width(cfg, m, 40, 40);
+  EXPECT_GE(static_cast<int>(global_w), static_cast<int>(local_w));
+  EXPECT_EQ(min_safe_width(cfg, m, 60000, 60000), ScoreWidth::W32);
+}
+
+TEST(Config, ToStringCoverage) {
+  EXPECT_STREQ(to_string(AlignKind::Local), "local");
+  EXPECT_STREQ(to_string(AlignKind::Global), "global");
+  EXPECT_STREQ(to_string(AlignKind::SemiGlobal), "semiglobal");
+  EXPECT_STREQ(to_string(GapModel::Linear), "linear");
+  EXPECT_STREQ(to_string(GapModel::Affine), "affine");
+  EXPECT_STREQ(to_string(Strategy::StripedIterate), "striped-iterate");
+  EXPECT_STREQ(to_string(Strategy::StripedScan), "striped-scan");
+  EXPECT_STREQ(to_string(Strategy::Hybrid), "hybrid");
+  EXPECT_STREQ(to_string(ScoreWidth::W8), "int8");
+  EXPECT_STREQ(to_string(ScoreWidth::W16), "int16");
+  EXPECT_STREQ(to_string(ScoreWidth::W32), "int32");
+}
+
+TEST(Isa, NamesAndOrdering) {
+  using simd::IsaKind;
+  EXPECT_STREQ(simd::isa_name(IsaKind::Scalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(IsaKind::Avx512), "avx512");
+  // Scalar is always available; best_available_isa returns something
+  // available.
+  EXPECT_TRUE(simd::isa_available(IsaKind::Scalar));
+  EXPECT_TRUE(simd::isa_available(simd::best_available_isa()));
+}
+
+}  // namespace

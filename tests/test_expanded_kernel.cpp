@@ -1,0 +1,95 @@
+// The --expand output mode end to end: at build time aalignc emitted
+// fully expanded vector code constructs (Alg. 2/3 with constants folded
+// and linear-gap statements dropped) for all four paradigm quadrants; this
+// TU compiles them for every backend (it is built with all ISA flags) and
+// verifies both strategies against the sequential oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/sequential.h"
+#include "simd/vec_avx2.h"
+#include "simd/vec_avx512.h"
+#include "simd/vec_scalar.h"
+#include "simd/vec_sse41.h"
+
+#include "expanded_nw_affine.h"
+#include "expanded_nw_linear.h"
+#include "expanded_sw_affine.h"
+#include "expanded_sw_linear.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+template <class Ops, class AlignFn>
+void check_quadrant(AlignFn align_fn, AlignKind kind, Penalties pen,
+                    unsigned seed) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = kind;
+  cfg.pen = pen;
+
+  std::mt19937_64 rng(seed);
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto q = test::random_protein(rng, 30 + iter * 41);
+    const auto s = test::mutate(rng, q, 0.35, 0.1);
+    const long expect = core::align_sequential(m, cfg, q, s);
+    EXPECT_EQ(align_fn(q, s, /*use_scan=*/false), expect)
+        << "iterate iter " << iter;
+    EXPECT_EQ(align_fn(q, s, /*use_scan=*/true), expect)
+        << "scan iter " << iter;
+  }
+}
+
+template <class Ops>
+void check_all_quadrants(unsigned seed) {
+  check_quadrant<Ops>(
+      [](auto q, auto s, bool scan) {
+        return aalign_expanded_sw_affine::align<Ops>(q, s, scan);
+      },
+      AlignKind::Local, Penalties::symmetric(10, 2), seed);
+  check_quadrant<Ops>(
+      [](auto q, auto s, bool scan) {
+        return aalign_expanded_sw_linear::align<Ops>(q, s, scan);
+      },
+      AlignKind::Local, Penalties::symmetric(0, 4), seed + 1);
+  check_quadrant<Ops>(
+      [](auto q, auto s, bool scan) {
+        return aalign_expanded_nw_affine::align<Ops>(q, s, scan);
+      },
+      AlignKind::Global, Penalties::symmetric(10, 2), seed + 2);
+  check_quadrant<Ops>(
+      [](auto q, auto s, bool scan) {
+        return aalign_expanded_nw_linear::align<Ops>(q, s, scan);
+      },
+      AlignKind::Global, Penalties::symmetric(0, 4), seed + 3);
+}
+
+TEST(ExpandedKernel, Scalar) {
+  check_all_quadrants<simd::VecOps<std::int32_t, simd::ScalarTag>>(100);
+}
+
+#if defined(AALIGN_HAVE_SSE41)
+TEST(ExpandedKernel, Sse41) {
+  if (!simd::isa_available(simd::IsaKind::Sse41)) GTEST_SKIP();
+  check_all_quadrants<simd::VecOps<std::int32_t, simd::Sse41Tag>>(200);
+}
+#endif
+
+#if defined(AALIGN_HAVE_AVX2)
+TEST(ExpandedKernel, Avx2) {
+  if (!simd::isa_available(simd::IsaKind::Avx2)) GTEST_SKIP();
+  check_all_quadrants<simd::VecOps<std::int32_t, simd::Avx2Tag>>(300);
+}
+#endif
+
+#if defined(AALIGN_HAVE_AVX512)
+TEST(ExpandedKernel, Avx512) {
+  if (!simd::isa_available(simd::IsaKind::Avx512)) GTEST_SKIP();
+  check_all_quadrants<simd::VecOps<std::int32_t, simd::Avx512Tag>>(400);
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Randomized cross-checks ("fuzz"): random Farrar-safe configurations,
+// degenerate inputs (homopolymers, wildcards, stop codons), DNA alphabet,
+// and shape extremes - every kernel answer is checked against the oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/aligner.h"
+#include "core/sequential.h"
+#include "score/matrices.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+TEST(Fuzz, RandomConfigurationsMatchOracle) {
+  std::mt19937_64 rng(0xF055);
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::uniform_int_distribution<int> open_d(1, 20), ext_d(2, 8);
+  std::uniform_int_distribution<int> kind_d(0, 4), len_d(1, 400);
+  std::uniform_int_distribution<int> strat_d(0, 2);
+
+  const auto isas = test::available_isas();
+  for (int iter = 0; iter < 60; ++iter) {
+    AlignConfig cfg;
+    cfg.kind = static_cast<AlignKind>(kind_d(rng));
+    // Linear systems need open == 0 on both axes.
+    const bool linear = (iter % 3) == 0;
+    cfg.pen.query = GapScheme{linear ? 0 : open_d(rng), ext_d(rng)};
+    cfg.pen.subject = GapScheme{linear ? 0 : open_d(rng), ext_d(rng)};
+    if (!farrar_safe(m, cfg.pen)) continue;
+
+    const auto q = test::random_protein(rng, static_cast<std::size_t>(len_d(rng)));
+    const auto s = test::random_protein(rng, static_cast<std::size_t>(len_d(rng)));
+    const long expect = core::align_sequential(m, cfg, q, s);
+
+    AlignOptions opt;
+    opt.isa = isas[static_cast<std::size_t>(iter) % isas.size()];
+    opt.width = ScoreWidth::W32;
+    opt.strategy = static_cast<Strategy>(1 + strat_d(rng));
+    const AlignResult r = align_pair(m, cfg, q, s, opt);
+    ASSERT_EQ(r.score, expect)
+        << "iter " << iter << " kind " << to_string(cfg.kind) << " strat "
+        << to_string(r.strategy) << " isa " << simd::isa_name(r.isa)
+        << " pen " << cfg.pen.query.open << "/" << cfg.pen.query.extend
+        << " " << cfg.pen.subject.open << "/" << cfg.pen.subject.extend;
+  }
+}
+
+TEST(Fuzz, DegenerateSequences) {
+  const auto& alpha = score::Alphabet::protein();
+  const auto& m = score::ScoreMatrix::blosum62();
+
+  const std::vector<std::string> inputs = {
+      "A",
+      "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA",  // homopolymer
+      "XXXXXXXXXX",                                         // all wildcard
+      "W*W*W*W*W*",                                         // stop codons
+      "ARNDCQEGHILKMFPSTWYVBZX*",                           // full alphabet
+  };
+
+  for (AlignKind kind :
+       {AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal,
+          AlignKind::SemiGlobalQuery, AlignKind::Overlap}) {
+    AlignConfig cfg;
+    cfg.kind = kind;
+    cfg.pen = Penalties::symmetric(10, 2);
+    for (const auto& qs : inputs) {
+      for (const auto& ss : inputs) {
+        const auto q = alpha.encode(qs);
+        const auto s = alpha.encode(ss);
+        const long expect = core::align_sequential(m, cfg, q, s);
+        for (Strategy strat : {Strategy::StripedIterate,
+                               Strategy::StripedScan, Strategy::Hybrid}) {
+          AlignOptions opt;
+          opt.strategy = strat;
+          opt.width = ScoreWidth::W32;
+          ASSERT_EQ(align_pair(m, cfg, q, s, opt).score, expect)
+              << to_string(kind) << " " << to_string(strat) << " '" << qs
+              << "' vs '" << ss << "'";
+        }
+      }
+    }
+  }
+}
+
+TEST(Fuzz, DnaAlignment) {
+  const score::ScoreMatrix dna = score::ScoreMatrix::dna(5, 4);
+  const auto& alpha = dna.alphabet();
+  std::mt19937_64 rng(404);
+  std::uniform_int_distribution<int> base(0, 3);
+
+  for (AlignKind kind : {AlignKind::Local, AlignKind::Global}) {
+    AlignConfig cfg;
+    cfg.kind = kind;
+    cfg.pen = Penalties::symmetric(10, 4);  // farrar-safe for min=-4
+    ASSERT_TRUE(farrar_safe(dna, cfg.pen));
+    for (int iter = 0; iter < 8; ++iter) {
+      std::vector<std::uint8_t> q(50 + iter * 31), s(80 + iter * 17);
+      for (auto& c : q) c = static_cast<std::uint8_t>(base(rng));
+      for (auto& c : s) c = static_cast<std::uint8_t>(base(rng));
+      // Sprinkle Ns.
+      q[q.size() / 2] = static_cast<std::uint8_t>(alpha.wildcard());
+
+      const long expect = core::align_sequential(dna, cfg, q, s);
+      for (Strategy strat : {Strategy::StripedIterate, Strategy::StripedScan,
+                             Strategy::Hybrid}) {
+        AlignOptions opt;
+        opt.strategy = strat;
+        ASSERT_EQ(align_pair(dna, cfg, q, s, opt).score, expect)
+            << to_string(kind) << " " << to_string(strat);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, ExtremeShapeRatios) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(7777);
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 2000}, {2000, 1}, {2, 1500}, {1500, 2}, {3000, 64}, {64, 3000}};
+  for (AlignKind kind :
+       {AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal,
+          AlignKind::SemiGlobalQuery, AlignKind::Overlap}) {
+    cfg.kind = kind;
+    for (const auto& [mm, nn] : shapes) {
+      const auto q = test::random_protein(rng, mm);
+      const auto s = test::random_protein(rng, nn);
+      const long expect = core::align_sequential(m, cfg, q, s);
+      AlignOptions opt;
+      opt.width = ScoreWidth::W32;
+      opt.strategy = Strategy::Hybrid;
+      ASSERT_EQ(align_pair(m, cfg, q, s, opt).score, expect)
+          << to_string(kind) << " " << mm << "x" << nn;
+    }
+  }
+}
+
+TEST(Fuzz, LongSimilarPairAllBackends) {
+  // One big pair (8k x 8k, high identity) through every backend: catches
+  // accumulation and range issues short tests miss.
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(31337);
+  const auto q = test::random_protein(rng, 8000);
+  const auto s = test::mutate(rng, q, 0.15, 0.02);
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const long expect = core::align_sequential(m, cfg, q, s);
+
+  for (simd::IsaKind isa : test::available_isas()) {
+    AlignOptions opt;
+    opt.isa = isa;
+    opt.width = ScoreWidth::Auto;  // will promote to 32-bit
+    opt.strategy = Strategy::Hybrid;
+    const AlignResult r = align_pair(m, cfg, q, s, opt);
+    EXPECT_EQ(r.score, expect) << simd::isa_name(isa);
+    EXPECT_FALSE(r.saturated);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// SSW-style vector traceback pipeline: end/begin location from the
+// tracked kernels plus slab traceback must yield an optimal local
+// alignment with globally valid coordinates.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/local_path.h"
+#include "core/sequential.h"
+#include "seq/generator.h"
+#include "seq/pairgen.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+long rescore_local(const score::ScoreMatrix& m, const Penalties& pen,
+                   std::span<const std::uint8_t> q,
+                   std::span<const std::uint8_t> s,
+                   const core::Alignment& aln) {
+  long score = 0;
+  std::size_t qi = aln.query_begin, si = aln.subject_begin, p = 0;
+  while (p < aln.cigar.size()) {
+    std::size_t cnt = 0;
+    while (p < aln.cigar.size() && isdigit(aln.cigar[p])) {
+      cnt = cnt * 10 + static_cast<std::size_t>(aln.cigar[p++] - '0');
+    }
+    const char op = aln.cigar[p++];
+    if (op == 'M') {
+      for (std::size_t t = 0; t < cnt; ++t) score += m.at(s[si++], q[qi++]);
+    } else if (op == 'I') {
+      score -= pen.query.open + static_cast<long>(cnt) * pen.query.extend;
+      qi += cnt;
+    } else {
+      score -= pen.subject.open + static_cast<long>(cnt) * pen.subject.extend;
+      si += cnt;
+    }
+  }
+  EXPECT_EQ(qi, aln.query_end);
+  EXPECT_EQ(si, aln.subject_end);
+  return score;
+}
+
+class LocalPath : public testing::TestWithParam<simd::IsaKind> {};
+
+TEST_P(LocalPath, OptimalPathWithGlobalCoordinates) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = pen;
+
+  seq::SequenceGenerator gen(90);
+  std::mt19937_64 rng(91);
+  for (int iter = 0; iter < 10; ++iter) {
+    // Query with a homologous island buried deep in a long subject: the
+    // slab should be far smaller than the whole matrix.
+    const seq::Sequence qs = gen.protein(150);
+    const auto query = score::Alphabet::protein().encode(qs.residues);
+    const auto island = seq::make_similar_subject(
+        gen, qs, {seq::Level::Hi, seq::Level::Hi});
+    std::vector<std::uint8_t> subject = test::random_protein(rng, 1200);
+    const auto island_enc =
+        score::Alphabet::protein().encode(island.residues);
+    const std::size_t insert_at = 400 + static_cast<std::size_t>(iter) * 40;
+    subject.insert(subject.begin() + static_cast<long>(insert_at),
+                   island_enc.begin(), island_enc.end());
+
+    core::LocalPathOptions opt;
+    opt.align.isa = GetParam();
+    const core::Alignment aln =
+        core::align_local_path(m, pen, query, subject, opt);
+
+    const long oracle = core::align_sequential(m, cfg, query, subject);
+    ASSERT_EQ(aln.score, oracle) << "iter " << iter;
+    ASSERT_EQ(rescore_local(m, pen, query, subject, aln), oracle);
+    // The alignment should sit on the planted island.
+    EXPECT_GE(aln.subject_begin, insert_at > 50 ? insert_at - 50 : 0u);
+    EXPECT_LE(aln.subject_end, insert_at + island_enc.size() + 50);
+  }
+}
+
+TEST_P(LocalPath, EmptyWhenNoPositiveScore) {
+  const auto& alpha = score::Alphabet::protein();
+  const auto& m = score::ScoreMatrix::blosum62();
+  core::LocalPathOptions opt;
+  opt.align.isa = GetParam();
+  const core::Alignment aln = core::align_local_path(
+      m, Penalties::symmetric(10, 2), alpha.encode("WWWW"),
+      alpha.encode("GGGG"), opt);
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.cigar.empty());
+}
+
+TEST_P(LocalPath, AgreesWithFullTraceback) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const Penalties pen{{12, 2}, {8, 3}};
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = pen;
+
+  std::mt19937_64 rng(92);
+  core::LocalPathOptions opt;
+  opt.align.isa = GetParam();
+  for (int iter = 0; iter < 8; ++iter) {
+    const auto q = test::random_protein(rng, 60 + iter * 21);
+    const auto s = test::mutate(rng, q, 0.3, 0.08);
+    const core::Alignment fast = core::align_local_path(m, pen, q, s, opt);
+    const core::Alignment full = core::align_traceback(m, cfg, q, s);
+    EXPECT_EQ(fast.score, full.score) << "iter " << iter;
+    EXPECT_EQ(rescore_local(m, pen, q, s, fast), fast.score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, LocalPath,
+                         testing::ValuesIn(test::available_isas()),
+                         [](const testing::TestParamInfo<simd::IsaKind>& i) {
+                           return std::string(simd::isa_name(i.param));
+                         });
+
+TEST(LocalPath, RejectsUnsafePenalties) {
+  const auto& alpha = score::Alphabet::protein();
+  EXPECT_THROW(core::align_local_path(score::ScoreMatrix::blosum62(),
+                                      Penalties::symmetric(10, 1),
+                                      alpha.encode("AW"), alpha.encode("AW")),
+               std::invalid_argument);
+}
+
+}  // namespace

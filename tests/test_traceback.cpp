@@ -1,0 +1,169 @@
+// Traceback correctness: the reconstructed path must (a) score exactly
+// what the score-only oracle reports, (b) re-score to its own claimed
+// score when replayed step by step, and (c) produce consistent coordinate
+// ranges and CIGAR accounting.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <random>
+
+#include "core/sequential.h"
+#include "core/traceback.h"
+#include "score/matrices.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+// Replays a CIGAR and recomputes the path score independently.
+long rescore(const score::ScoreMatrix& m, const Penalties& pen,
+             std::span<const std::uint8_t> q, std::span<const std::uint8_t> s,
+             const core::Alignment& aln) {
+  long score = 0;
+  std::size_t qi = aln.query_begin, si = aln.subject_begin;
+  std::size_t p = 0;
+  while (p < aln.cigar.size()) {
+    std::size_t cnt = 0;
+    while (p < aln.cigar.size() &&
+           std::isdigit(static_cast<unsigned char>(aln.cigar[p]))) {
+      cnt = cnt * 10 + static_cast<std::size_t>(aln.cigar[p] - '0');
+      ++p;
+    }
+    const char op = aln.cigar[p++];
+    if (op == 'M') {
+      for (std::size_t t = 0; t < cnt; ++t) score += m.at(s[si++], q[qi++]);
+    } else if (op == 'I') {
+      score -= pen.query.open + static_cast<long>(cnt) * pen.query.extend;
+      qi += cnt;
+    } else if (op == 'D') {
+      score -= pen.subject.open + static_cast<long>(cnt) * pen.subject.extend;
+      si += cnt;
+    } else {
+      ADD_FAILURE() << "bad op " << op;
+    }
+  }
+  EXPECT_EQ(qi, aln.query_end);
+  EXPECT_EQ(si, aln.subject_end);
+  return score;
+}
+
+class TracebackProperty
+    : public testing::TestWithParam<std::tuple<AlignKind, int>> {};
+
+TEST_P(TracebackProperty, PathScoreMatchesOracle) {
+  const AlignKind kind = std::get<0>(GetParam());
+  const Penalties pen =
+      test::test_penalties()[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = kind;
+  cfg.pen = pen;
+
+  std::mt19937_64 rng(123 + std::get<1>(GetParam()));
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::size_t mlen = 5 + static_cast<std::size_t>(iter) * 23;
+    const auto q = test::random_protein(rng, mlen);
+    const auto s = test::mutate(rng, q, 0.15 + 0.07 * iter, 0.04);
+
+    const long oracle = core::align_sequential(m, cfg, q, s);
+    const core::Alignment aln = core::align_traceback(m, cfg, q, s);
+    ASSERT_EQ(aln.score, oracle) << "iter " << iter;
+    if (kind == AlignKind::Local && oracle == 0) continue;
+    ASSERT_EQ(rescore(m, pen, q, s, aln), aln.score) << "iter " << iter;
+
+    // Coordinate sanity.
+    EXPECT_LE(aln.query_end, q.size());
+    EXPECT_LE(aln.subject_end, s.size());
+    EXPECT_LE(aln.query_begin, aln.query_end);
+    EXPECT_LE(aln.subject_begin, aln.subject_end);
+    if (kind != AlignKind::Local) {
+      // Boundary coverage follows the kind's free-overhang flags.
+      if (!kind_row_free(kind)) {
+        EXPECT_EQ(aln.query_begin, 0u);
+      }
+      if (!kind_end_col_free(kind)) {
+        EXPECT_EQ(aln.query_end, q.size());
+      }
+      if (!kind_col_free(kind)) {
+        EXPECT_EQ(aln.subject_begin, 0u);
+      }
+      if (!kind_end_row_free(kind)) {
+        EXPECT_EQ(aln.subject_end, s.size());
+      }
+    }
+    EXPECT_LE(aln.matches, aln.columns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, TracebackProperty,
+    testing::Combine(testing::Values(AlignKind::Local, AlignKind::Global,
+                                     AlignKind::SemiGlobal,
+                                     AlignKind::SemiGlobalQuery,
+                                     AlignKind::Overlap),
+                     testing::Values(0, 1, 2, 3, 4)),
+    [](const testing::TestParamInfo<std::tuple<AlignKind, int>>& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_pen" + std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Traceback, EmptyLocalAlignment) {
+  // All-mismatch pair under a harsh matrix: best local score is 0 and the
+  // alignment is empty.
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto q = score::Alphabet::protein().encode("WWWW");
+  const auto s = score::Alphabet::protein().encode("GGGG");
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const core::Alignment aln = core::align_traceback(m, cfg, q, s);
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.cigar.empty());
+  EXPECT_EQ(aln.columns, 0u);
+}
+
+TEST(Traceback, PerfectMatchCigar) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto q = score::Alphabet::protein().encode("HEAGAWGHEE");
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Global;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const core::Alignment aln = core::align_traceback(m, cfg, q, q);
+  EXPECT_EQ(aln.cigar, "10M");
+  EXPECT_EQ(aln.matches, 10u);
+  EXPECT_EQ(aln.columns, 10u);
+}
+
+TEST(Traceback, RenderRowsShapes) {
+  const auto& alpha = score::Alphabet::protein();
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto q = alpha.encode("HEAGAWGHEE");
+  const auto s = alpha.encode("HEAGWGHEE");  // one deletion
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Global;
+  cfg.pen = Penalties::symmetric(10, 2);
+  const core::Alignment aln = core::align_traceback(m, cfg, q, s);
+  const core::AlignmentRows rows = core::render_alignment(alpha, q, s, aln);
+  EXPECT_EQ(rows.query.size(), aln.columns);
+  EXPECT_EQ(rows.subject.size(), aln.columns);
+  EXPECT_EQ(rows.midline.size(), aln.columns);
+  EXPECT_NE(rows.subject.find('-'), std::string::npos);
+}
+
+TEST(Traceback, MaxCellsGuard) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(1);
+  const auto q = test::random_protein(rng, 100);
+  AlignConfig cfg;
+  core::TracebackOptions opt;
+  opt.max_cells = 1000;
+  EXPECT_THROW(core::align_traceback(m, cfg, q, q, opt),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Anti-diagonal (wavefront) baseline: exact agreement with the sequential
+// oracle across kinds, gap systems, and awkward shapes (the diagonal
+// boundary bookkeeping is where wavefront implementations usually break).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/wavefront.h"
+#include "core/sequential.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+class WavefrontProperty
+    : public testing::TestWithParam<std::tuple<AlignKind, int>> {};
+
+TEST_P(WavefrontProperty, MatchesOracle) {
+  const AlignKind kind = std::get<0>(GetParam());
+  const Penalties pen =
+      test::test_penalties()[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = kind;
+  cfg.pen = pen;
+
+  std::mt19937_64 rng(400 + std::get<1>(GetParam()));
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {1, 40}, {40, 1}, {2, 3},     {17, 64},
+      {64, 17}, {100, 100}, {33, 200}, {200, 33}, {128, 128},
+  };
+  for (const auto& [mm, nn] : shapes) {
+    const auto q = test::random_protein(rng, mm);
+    const auto s = test::random_protein(rng, nn);
+    EXPECT_EQ(baselines::align_wavefront(m, cfg, q, s).score,
+              core::align_sequential(m, cfg, q, s))
+        << "m=" << mm << " n=" << nn;
+  }
+  // Similar pairs too (different numerical paths dominate).
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto q = test::random_protein(rng, 150);
+    const auto s = test::mutate(rng, q, 0.1, 0.05);
+    EXPECT_EQ(baselines::align_wavefront(m, cfg, q, s).score,
+              core::align_sequential(m, cfg, q, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, WavefrontProperty,
+    testing::Combine(testing::Values(AlignKind::Local, AlignKind::Global,
+                                     AlignKind::SemiGlobal,
+                                     AlignKind::SemiGlobalQuery,
+                                     AlignKind::Overlap),
+                     testing::Values(0, 1, 2, 3, 4)),
+    [](const testing::TestParamInfo<std::tuple<AlignKind, int>>& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_pen" + std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
