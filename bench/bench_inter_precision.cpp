@@ -1,0 +1,153 @@
+// Inter-sequence precision-ladder benchmark: GCUPS per tier (int8 /
+// int16 / int32 lanes) and overflow/re-queue rates on a Swiss-Prot-like
+// database, for the best ISA this machine offers.
+//
+// Beyond the human-readable table, the run is dumped to
+// BENCH_inter_precision.json (override the path with AALIGN_BENCH_JSON)
+// so the perf trajectory accumulates machine-readable points; the
+// headline field is speedup_int8_vs_int32, the int8 tier's throughput
+// against the exact int32 kernel on the same workload.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/inter_engine.h"
+#include "search/inter_search.h"
+
+using namespace aalign;
+using namespace aalign::bench;
+
+namespace {
+
+struct Run {
+  std::size_t query_len;
+  const char* mode;  // "tiered" | "int32"
+  search::InterSearchResult res;
+};
+
+void print_run(const Run& r) {
+  std::printf("Q%-5zu %-7s total %7.3fs %8.2f GCUPS\n", r.query_len, r.mode,
+              r.res.seconds, r.res.gcups);
+  for (int ti = 0; ti < core::kInterPrecisionCount; ++ti) {
+    const search::InterTierStats& t = r.res.tiers[ti];
+    if (t.subjects == 0) continue;
+    const auto p = static_cast<core::InterPrecision>(ti);
+    std::printf("             %-6s x%-3d %7zu subj %7zu requeued (%5.2f%%) "
+                "%8.2f GCUPS\n",
+                core::to_string(p), t.lanes, t.subjects, t.overflowed,
+                100.0 * static_cast<double>(t.overflowed) /
+                    static_cast<double>(t.subjects),
+                t.gcups);
+  }
+}
+
+void append_json(std::string& out, const Run& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"query_len\": %zu, \"mode\": \"%s\", "
+                "\"seconds\": %.6f, \"gcups\": %.3f, \"tiers\": [",
+                r.query_len, r.mode, r.res.seconds, r.res.gcups);
+  out += buf;
+  bool first = true;
+  for (int ti = 0; ti < core::kInterPrecisionCount; ++ti) {
+    const search::InterTierStats& t = r.res.tiers[ti];
+    if (t.subjects == 0) continue;
+    const auto p = static_cast<core::InterPrecision>(ti);
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"precision\": \"%s\", \"lanes\": %d, "
+                  "\"subjects\": %zu, \"overflowed\": %zu, "
+                  "\"requeue_rate\": %.4f, \"cells\": %zu, "
+                  "\"seconds\": %.6f, \"gcups\": %.3f}",
+                  first ? "" : ",", core::to_string(p), t.lanes, t.subjects,
+                  t.overflowed,
+                  static_cast<double>(t.overflowed) /
+                      static_cast<double>(t.subjects),
+                  t.cells, t.seconds, t.gcups);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+int main() {
+  const simd::IsaKind isa = simd::best_available_isa();
+  const core::InterEngine* engine = core::get_inter_engine(isa);
+  const auto& matrix = score::ScoreMatrix::blosum62();
+  const Penalties pen = Penalties::symmetric(10, 2);
+
+  seq::SequenceGenerator gen(424242);
+  seq::Database db(score::Alphabet::protein(),
+                   gen.protein_database(scaled(1200), 250.0));
+
+  search::SearchOptions opt;
+  opt.keep_all_scores = false;
+
+  std::printf("Inter-sequence precision ladder on %s "
+              "(int8 x%d / int16 x%d / int32 x%d lanes); "
+              "db: %zu seqs / %zu residues\n\n",
+              simd::isa_name(isa), engine->lanes(core::InterPrecision::I8),
+              engine->lanes(core::InterPrecision::I16),
+              engine->lanes(core::InterPrecision::I32), db.size(),
+              db.total_residues());
+
+  std::vector<Run> runs;
+  for (std::size_t qlen : {128, 384}) {
+    const auto q = matrix.alphabet().encode(gen.protein(qlen).residues);
+    for (const char* mode : {"tiered", "int32"}) {
+      const ScoreWidth start = std::string(mode) == "tiered"
+                                   ? ScoreWidth::Auto
+                                   : ScoreWidth::W32;
+      search::InterSequenceSearch s(matrix, pen, opt, isa, start);
+      s.search(q, db);  // warmup
+      Run r{qlen, mode, s.search(q, db)};
+      print_run(r);
+      runs.push_back(std::move(r));
+    }
+    std::printf("\n");
+  }
+
+  // Headline: int8 tier throughput vs the exact int32 kernel, largest
+  // query (the most amortized, steady-state configuration).
+  double i8 = 0.0, i32 = 0.0;
+  for (const Run& r : runs) {
+    if (r.query_len != runs.back().query_len) continue;
+    if (std::string(r.mode) == "tiered") {
+      i8 = r.res.tiers[static_cast<int>(core::InterPrecision::I8)].gcups;
+    } else {
+      i32 = r.res.tiers[static_cast<int>(core::InterPrecision::I32)].gcups;
+    }
+  }
+  const double speedup = i32 > 0 ? i8 / i32 : 0.0;
+  std::printf("int8 tier vs int32 kernel: %.2fx GCUPS\n", speedup);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"inter_precision\",\n";
+  json += "  \"isa\": \"" + std::string(simd::isa_name(isa)) + "\",\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"db_sequences\": %zu,\n  \"db_residues\": %zu,\n"
+                "  \"speedup_int8_vs_int32\": %.3f,\n  \"runs\": [\n",
+                db.size(), db.total_residues(), speedup);
+  json += buf;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    append_json(json, runs[i]);
+    if (i + 1 < runs.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ]\n}\n";
+
+  const char* path = std::getenv("AALIGN_BENCH_JSON");
+  const std::string file = path != nullptr ? path : "BENCH_inter_precision.json";
+  if (FILE* f = std::fopen(file.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", file.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", file.c_str());
+    return 1;
+  }
+  return 0;
+}

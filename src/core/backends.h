@@ -1,6 +1,11 @@
 // Factory declarations for the per-backend engine singletons. Each is
 // defined in the matching kernels_<isa>.cpp, compiled with that ISA's
 // flags; dispatch.cpp wires them into the runtime registry.
+//
+// Every inter_engine_* singleton is multi-precision: it bundles the
+// int8/int16/int32 tiers its ISA offers (query via
+// InterEngine::lanes(InterPrecision)); the IMCI-profile AVX-512 backend
+// exposes only the int32 tier.
 #pragma once
 
 #include <cstdint>

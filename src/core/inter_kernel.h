@@ -3,15 +3,30 @@
 //
 // Because each lane is an independent alignment, the DP recurrences are
 // plain element-wise vector ops - no striping, no lazy-F corrections, no
-// scan. The price is the substitution fetch: each lane needs the score of
-// ITS subject character against the current query residue, i.e. a
-// per-lane table lookup (VecOps::gather) from a flat (alpha+1) x alpha
-// matrix whose extra row is the batch-padding character (strongly
-// negative, so lanes that finished early decay to zero and stop
-// contributing to the running maximum).
+// scan. The substitution fetch is a per-column SCORE PROFILE: before the
+// inner loop walks the query, the W-lane substitution row of every query
+// residue is materialized once (prof[a][l] = matrix(subject_l[t], a), with
+// finished lanes reading the batch-padding row - strongly negative, so
+// lanes that ended early decay to zero and stop contributing to the
+// running maximum). The inner loop then does one sequential aligned load
+// per cell instead of a per-lane gather, which is what lets the kernel run
+// on 8/16-bit lanes at all (x86 has no narrow gathers) and removes the
+// gather latency from the 32-bit path too.
+//
+// The kernel is generic over the lane type. Narrow types (int8/int16) use
+// saturating adds; a lane whose running maximum ends pinned at the
+// positive rail may have overflowed and is reported in the returned
+// bitmask so the caller can re-run it at the next wider precision. Local
+// alignment makes the narrow tiers exact below the rail: H >= 0
+// everywhere, and E/F values saturated at the negative rail are still
+// smaller than every candidate that can win a max, so clamping them loses
+// nothing.
 //
 // Include only from backend TUs compiled with the right ISA flags.
 #pragma once
+
+#include <stdexcept>
+#include <type_traits>
 
 #include "core/column_engine.h"
 #include "core/inter_engine.h"
@@ -19,45 +34,109 @@
 namespace aalign::core {
 
 template <class Ops>
-void inter_sequence_local(const InterBatchInput& in,
-                          const Steps<std::int32_t>& st,
-                          Workspace<std::int32_t>& ws, long* out_scores) {
+std::uint64_t inter_sequence_local(const InterBatchInput& in,
+                                   const Steps<typename Ops::value_type>& st,
+                                   Workspace<typename Ops::value_type>& ws,
+                                   long* out_scores) {
+  using T = typename Ops::value_type;
   using reg = typename Ops::reg;
   constexpr int W = Ops::kWidth;
   const int m = static_cast<int>(in.query.size());
-  const std::int32_t kNegInf = simd::neg_inf<std::int32_t>();
+  const int alpha = in.alpha;
+  const T kNegInf = simd::neg_inf<T>();
 
-  ws.prepare(2 * m * W);
-  std::int32_t* h = ws.h_prev.data();  // H(prev column) per (j, lane)
-  std::int32_t* e = ws.h_cur.data();   // E carry per (j, lane)
+  ws.h_prev.resize(m * W);  // H(prev column) per (j, lane)
+  ws.e.resize(m * W);       // E carry per (j, lane)
+  ws.scan.resize(alpha * W);  // per-column score profile, one row per residue
+  T* h = ws.h_prev.data();
+  T* e = ws.e.data();
+  T* prof = ws.scan.data();
   for (int j = 0; j < m * W; ++j) {
     h[j] = 0;
     e[j] = kNegInf;
   }
 
-  const reg v_zero = Ops::set1(0);
+  // The substitution matrix is narrowed to T ONCE per batch, so the
+  // per-column profile build is a pure copy with no clamping in the loop.
+  // Backends with an in-register permute expose `table_lookup`; for them
+  // the matrix is laid out as one kLutStride-entry row per QUERY symbol
+  // (indexed by subject character, pad included) and the per-column build
+  // collapses to one permute per alphabet symbol. Everyone else gets the
+  // scalar layout: one row per SUBJECT character, contiguous in the query
+  // symbol, copied lane by lane.
+  constexpr bool kHasLut =
+      requires(const T* p, reg r) { Ops::table_lookup(p, r); };
+  constexpr int kLutStride = 64;          // entries; every backend's row load fits
+  const bool use_lut = kHasLut && alpha < 32;  // in-register index range
+  T* lut = nullptr;  // [alpha][kLutStride], + W index staging entries
+  T* nm = nullptr;   // [alpha + 1][alpha]
+  if (use_lut) {
+    ws.h_cur.resize(alpha * kLutStride + W);
+    lut = ws.h_cur.data();
+    for (int a = 0; a < alpha; ++a) {
+      T* row = lut + a * kLutStride;
+      for (int c = 0; c <= alpha; ++c) {
+        row[c] =
+            clamp_score<T>(in.flat_matrix[static_cast<std::size_t>(c) * alpha +
+                                          a]);
+      }
+      for (int c = alpha + 1; c < kLutStride; ++c) row[c] = 0;
+    }
+  } else {
+    ws.h_cur.resize((alpha + 1) * alpha);
+    nm = ws.h_cur.data();
+    for (int c = 0; c <= alpha; ++c) {
+      for (int a = 0; a < alpha; ++a) {
+        const std::size_t k = static_cast<std::size_t>(c) * alpha + a;
+        nm[k] = clamp_score<T>(in.flat_matrix[k]);
+      }
+    }
+  }
+  const auto fill_profile_scalar = [&](int t) {
+    for (int l = 0; l < W; ++l) {
+      const int c = t < in.lengths[l] ? in.subjects[l][t] : alpha;
+      const T* row = nm + static_cast<std::size_t>(c) * alpha;
+      for (int a = 0; a < alpha; ++a) prof[a * W + l] = row[a];
+    }
+  };
+
+  const reg v_zero = Ops::set1(T{0});
   const reg v_ext_l = Ops::set1(st.ext_left);
   const reg v_first_l = Ops::set1(st.first_left);
   const reg v_ext_u = Ops::set1(st.ext_up);
   const reg v_first_u = Ops::set1(st.first_up);
   reg v_max = v_zero;
 
-  alignas(64) std::int32_t row_base[W];
   for (int t = 0; t < in.max_len; ++t) {
-    // Per-lane row offset of this column's subject character; finished
-    // lanes read the padding row (index alpha).
-    for (int l = 0; l < W; ++l) {
-      const int c = t < in.lengths[l] ? in.subjects[l][t] : in.alpha;
-      row_base[l] = c * in.alpha;
+    // Score profile of this column: transpose one matrix row per lane
+    // (finished lanes use the padding row, index alpha) into W-lane rows
+    // indexed by query residue. Row stride W*sizeof(T) is exactly the
+    // register width, so every row is load-aligned.
+    if constexpr (kHasLut) {
+      if (use_lut) {
+        T* idx = lut + alpha * kLutStride;
+        for (int l = 0; l < W; ++l) {
+          idx[l] =
+              static_cast<T>(t < in.lengths[l] ? in.subjects[l][t] : alpha);
+        }
+        const reg v_idx = Ops::load(idx);
+        for (int a = 0; a < alpha; ++a) {
+          Ops::store(prof + a * W,
+                     Ops::table_lookup(lut + a * kLutStride, v_idx));
+        }
+      } else {
+        fill_profile_scalar(t);
+      }
+    } else {
+      fill_profile_scalar(t);
     }
-    const reg v_rows = Ops::from_array(row_base);
 
     reg v_f = Ops::set1(kNegInf);
     reg v_hdiag = v_zero;  // local boundary H(., 0) = 0
     reg v_hleft = v_zero;
     for (int j = 0; j < m; ++j) {
-      const reg v_idx = Ops::adds(v_rows, Ops::set1(in.query[j]));
-      const reg v_sub = Ops::gather(in.flat_matrix, v_idx);
+      const reg v_sub =
+          Ops::load(prof + static_cast<std::size_t>(in.query[j]) * W);
 
       const reg v_hup = Ops::load(h + j * W);
       const reg v_e = Ops::max(Ops::adds(Ops::load(e + j * W), v_ext_l),
@@ -77,27 +156,75 @@ void inter_sequence_local(const InterBatchInput& in,
     }
   }
 
-  alignas(64) std::int32_t scores[W];
+  alignas(64) T scores[W];
   Ops::to_array(v_max, scores);
   for (int l = 0; l < W; ++l) out_scores[l] = scores[l];
+
+  if constexpr (sizeof(T) >= 4) {
+    return 0;  // exact tier: range-checked, never saturates
+  } else {
+    return Ops::eq_mask(v_max, Ops::set1(std::numeric_limits<T>::max()));
+  }
 }
 
-template <class Ops>
+// One engine per backend bundling the tiers the ISA offers; pass `void`
+// for tiers the backend cannot express (the IMCI-profile AVX-512 backend
+// is int32-only, matching the paper's Sec. II-A restriction).
+template <class Ops8, class Ops16, class Ops32>
 class InterEngineImpl final : public InterEngine {
  public:
   explicit InterEngineImpl(simd::IsaKind isa) : isa_(isa) {}
   simd::IsaKind isa() const override { return isa_; }
-  int lanes() const override { return Ops::kWidth; }
-  void run(const InterBatchInput& in, const Penalties& pen,
-           Workspace<std::int32_t>& ws, long* out_scores) const override {
+
+  int lanes(InterPrecision p) const override {
+    switch (p) {
+      case InterPrecision::I8: return width_of<Ops8>();
+      case InterPrecision::I16: return width_of<Ops16>();
+      case InterPrecision::I32: return width_of<Ops32>();
+    }
+    return 0;
+  }
+
+  std::uint64_t run(InterPrecision p, const InterBatchInput& in,
+                    const Penalties& pen, InterScratch& ws,
+                    long* out_scores) const override {
     AlignConfig cfg;
     cfg.kind = AlignKind::Local;
     cfg.pen = pen;
-    inter_sequence_local<Ops>(in, make_steps<std::int32_t>(cfg), ws,
-                              out_scores);
+    switch (p) {
+      case InterPrecision::I8:
+        if constexpr (!std::is_void_v<Ops8>) {
+          return inter_sequence_local<Ops8>(
+              in, make_steps<std::int8_t>(cfg), ws.w8, out_scores);
+        }
+        break;
+      case InterPrecision::I16:
+        if constexpr (!std::is_void_v<Ops16>) {
+          return inter_sequence_local<Ops16>(
+              in, make_steps<std::int16_t>(cfg), ws.w16, out_scores);
+        }
+        break;
+      case InterPrecision::I32:
+        if constexpr (!std::is_void_v<Ops32>) {
+          return inter_sequence_local<Ops32>(
+              in, make_steps<std::int32_t>(cfg), ws.w32, out_scores);
+        }
+        break;
+    }
+    throw std::logic_error(
+        "InterEngine: precision tier unavailable on this backend");
   }
 
  private:
+  template <class Ops>
+  static constexpr int width_of() {
+    if constexpr (std::is_void_v<Ops>) {
+      return 0;
+    } else {
+      return Ops::kWidth;
+    }
+  }
+
   simd::IsaKind isa_;
 };
 

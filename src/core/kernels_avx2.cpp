@@ -26,8 +26,10 @@ const Engine<std::int32_t>* engine_avx2_i32() {
 }
 
 const InterEngine* inter_engine_avx2() {
-  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::Avx2Tag>> e(
-      simd::IsaKind::Avx2);
+  static const InterEngineImpl<simd::VecOps<std::int8_t, simd::Avx2Tag>,
+                               simd::VecOps<std::int16_t, simd::Avx2Tag>,
+                               simd::VecOps<std::int32_t, simd::Avx2Tag>>
+      e(simd::IsaKind::Avx2);
   return &e;
 }
 

@@ -16,8 +16,11 @@ const Engine<std::int32_t>* engine_avx512_i32() {
 }
 
 const InterEngine* inter_engine_avx512() {
-  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::Avx512Tag>> e(
-      simd::IsaKind::Avx512);
+  // IMCI profile: no narrow lanes, so the int8/int16 tiers are absent and
+  // the search layer starts this backend directly at int32.
+  static const InterEngineImpl<void, void,
+                               simd::VecOps<std::int32_t, simd::Avx512Tag>>
+      e(simd::IsaKind::Avx512);
   return &e;
 }
 

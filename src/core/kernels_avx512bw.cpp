@@ -28,7 +28,9 @@ const Engine<std::int32_t>* engine_avx512bw_i32() {
 }
 
 const InterEngine* inter_engine_avx512bw() {
-  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::Avx512BwTag>>
+  static const InterEngineImpl<simd::VecOps<std::int8_t, simd::Avx512BwTag>,
+                               simd::VecOps<std::int16_t, simd::Avx512BwTag>,
+                               simd::VecOps<std::int32_t, simd::Avx512BwTag>>
       e(simd::IsaKind::Avx512Bw);
   return &e;
 }

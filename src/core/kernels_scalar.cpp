@@ -25,8 +25,10 @@ const Engine<std::int32_t>* engine_scalar_i32() {
 }
 
 const InterEngine* inter_engine_scalar() {
-  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::ScalarTag>> e(
-      simd::IsaKind::Scalar);
+  static const InterEngineImpl<simd::VecOps<std::int8_t, simd::ScalarTag>,
+                               simd::VecOps<std::int16_t, simd::ScalarTag>,
+                               simd::VecOps<std::int32_t, simd::ScalarTag>>
+      e(simd::IsaKind::Scalar);
   return &e;
 }
 

@@ -26,8 +26,10 @@ const Engine<std::int32_t>* engine_sse41_i32() {
 }
 
 const InterEngine* inter_engine_sse41() {
-  static const InterEngineImpl<simd::VecOps<std::int32_t, simd::Sse41Tag>> e(
-      simd::IsaKind::Sse41);
+  static const InterEngineImpl<simd::VecOps<std::int8_t, simd::Sse41Tag>,
+                               simd::VecOps<std::int16_t, simd::Sse41Tag>,
+                               simd::VecOps<std::int32_t, simd::Sse41Tag>>
+      e(simd::IsaKind::Sse41);
   return &e;
 }
 

@@ -1,9 +1,9 @@
 #include "search/database_search.h"
 
-#include <algorithm>
 #include <atomic>
 
 #include "search/thread_pool.h"
+#include "search/top_k.h"
 #include "util/stopwatch.h"
 
 namespace aalign::search {
@@ -58,19 +58,7 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
     res.stats.switches += w.stats.switches;
   }
 
-  // Top-k selection.
-  std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
-  for (std::size_t i = 0; i < scores.size(); ++i) {
-    hits.push_back(SearchHit{i, scores[i]});
-  }
-  const std::size_t k = std::min(opt_.top_k, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
-                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
-  hits.resize(k);
-  res.top = std::move(hits);
+  res.top = select_top_k(scores, opt_.top_k);
   if (opt_.keep_all_scores) res.scores = std::move(scores);
   return res;
 }

@@ -1,27 +1,40 @@
 #include "search/inter_search.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
-#include "core/inter_engine.h"
 #include "search/thread_pool.h"
+#include "search/top_k.h"
 #include "util/stopwatch.h"
 
 namespace aalign::search {
 
 namespace {
-// Padding-row score: strongly negative so finished lanes decay to zero.
+// Padding-row score: strongly negative so finished lanes decay to zero,
+// small enough to survive the int8 tier's clamp untouched.
 constexpr std::int32_t kPadScore = -64;
+
+core::InterPrecision start_precision(ScoreWidth w) {
+  switch (w) {
+    case ScoreWidth::W16: return core::InterPrecision::I16;
+    case ScoreWidth::W32: return core::InterPrecision::I32;
+    case ScoreWidth::W8:
+    case ScoreWidth::Auto: return core::InterPrecision::I8;
+  }
+  return core::InterPrecision::I8;
+}
 }  // namespace
 
 InterSequenceSearch::InterSequenceSearch(const score::ScoreMatrix& matrix,
-                                         Penalties pen,
+                                         Penalties pen, SearchOptions opt,
                                          std::optional<simd::IsaKind> isa,
-                                         int threads)
+                                         ScoreWidth start_width)
     : matrix_(matrix),
       pen_(pen),
+      opt_(opt),
       isa_(isa.value_or(simd::best_available_isa())),
-      threads_(threads) {
+      start_(start_precision(start_width)) {
   if (core::get_inter_engine(isa_) == nullptr) {
     throw std::invalid_argument(
         "InterSequenceSearch: backend unavailable on this machine");
@@ -39,71 +52,139 @@ InterSequenceSearch::InterSequenceSearch(const score::ScoreMatrix& matrix,
   }
 }
 
+InterSequenceSearch::InterSequenceSearch(const score::ScoreMatrix& matrix,
+                                         Penalties pen,
+                                         std::optional<simd::IsaKind> isa,
+                                         int threads)
+    : InterSequenceSearch(matrix, pen,
+                          [&] {
+                            SearchOptions o;
+                            o.threads = threads;
+                            return o;
+                          }(),
+                          isa) {}
+
 int InterSequenceSearch::lanes() const {
   return core::get_inter_engine(isa_)->lanes();
 }
 
-SearchResult InterSequenceSearch::search(
+int InterSequenceSearch::lanes(core::InterPrecision p) const {
+  return core::get_inter_engine(isa_)->lanes(p);
+}
+
+InterSearchResult InterSequenceSearch::search(
     std::span<const std::uint8_t> query, seq::Database& db) const {
   if (query.empty()) {
     throw std::invalid_argument("InterSequenceSearch: empty query");
   }
   const core::InterEngine* engine = core::get_inter_engine(isa_);
-  const int W = engine->lanes();
 
-  db.sort_by_length_desc();  // batches become length-homogeneous
-  const std::size_t batches = (db.size() + W - 1) / W;
+  if (opt_.sort_database) db.sort_by_length_desc();
 
+  const int threads = opt_.threads > 0 ? opt_.threads : default_thread_count();
   std::vector<long> scores(db.size());
-  const int threads = threads_ > 0 ? threads_ : default_thread_count();
-  std::vector<core::Workspace<std::int32_t>> ws(
+
+  // Per-worker reusable scratch: kernel working sets for every tier plus
+  // the batch marshalling arrays, allocated once and recycled across all
+  // batches of all tiers (no per-batch heap traffic in the hot lambda).
+  struct WorkerScratch {
+    core::InterScratch ws;
+    std::vector<const std::uint8_t*> ptrs;
+    std::vector<int> lens;
+    std::vector<long> lane_scores;
+    std::vector<std::size_t> requeue;  // lanes that saturated this tier
+    std::size_t cells = 0;
+  };
+  std::vector<WorkerScratch> workers(
       static_cast<std::size_t>(std::max(1, threads)));
 
-  util::Stopwatch timer;
-  parallel_for_dynamic(batches, threads, [&](int id, std::size_t b) {
-    const std::size_t begin = b * static_cast<std::size_t>(W);
-    const std::size_t count = std::min<std::size_t>(W, db.size() - begin);
+  InterSearchResult res;
 
-    std::vector<const std::uint8_t*> ptrs(W);
-    std::vector<int> lens(W);
-    int max_len = 0;
-    for (int l = 0; l < W; ++l) {
-      // Tail batch: repeat the first subject in unused lanes (their
-      // scores are simply discarded).
-      const std::size_t idx = begin + (static_cast<std::size_t>(l) < count
-                                           ? static_cast<std::size_t>(l)
-                                           : 0);
-      ptrs[l] = db[idx].data.data();
-      lens[l] = static_cast<int>(db[idx].size());
-      max_len = std::max(max_len, lens[l]);
+  // Indices (into the sorted database) still needing a score. The ladder
+  // walks narrow -> wide; whatever saturates a tier is re-batched for the
+  // next one. Ascending index order keeps re-queued batches as
+  // length-homogeneous as the original sort made them.
+  std::vector<std::size_t> pending(db.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  util::Stopwatch total;
+  for (int ti = static_cast<int>(start_); ti < core::kInterPrecisionCount;
+       ++ti) {
+    const auto prec = static_cast<core::InterPrecision>(ti);
+    const int W = engine->lanes(prec);
+    if (W == 0 || pending.empty()) continue;  // tier absent on this backend
+
+    for (auto& w : workers) {
+      w.ptrs.assign(static_cast<std::size_t>(W), nullptr);
+      w.lens.assign(static_cast<std::size_t>(W), 0);
+      w.lane_scores.assign(static_cast<std::size_t>(W), 0);
+      w.requeue.clear();
+      w.cells = 0;
     }
 
-    core::InterBatchInput in{flat_matrix_.data(), matrix_.size(), query,
-                             ptrs.data(), lens.data(), max_len};
-    std::vector<long> lane_scores(W);
-    engine->run(in, pen_, ws[static_cast<std::size_t>(id)],
-                lane_scores.data());
-    for (std::size_t l = 0; l < count; ++l) {
-      scores[begin + l] = lane_scores[l];
-    }
-  });
+    const std::size_t batches =
+        (pending.size() + static_cast<std::size_t>(W) - 1) /
+        static_cast<std::size_t>(W);
+    util::Stopwatch timer;
+    parallel_for_dynamic(batches, threads, [&](int id, std::size_t b) {
+      WorkerScratch& w = workers[static_cast<std::size_t>(id)];
+      const std::size_t begin = b * static_cast<std::size_t>(W);
+      const std::size_t count =
+          std::min<std::size_t>(W, pending.size() - begin);
 
-  SearchResult res;
-  res.seconds = timer.seconds();
+      int max_len = 0;
+      std::size_t residues = 0;
+      for (std::size_t l = 0; l < static_cast<std::size_t>(W); ++l) {
+        // Tail batch: repeat the first subject in unused lanes (their
+        // scores are simply discarded).
+        const std::size_t idx = pending[begin + (l < count ? l : 0)];
+        w.ptrs[l] = db[idx].data.data();
+        w.lens[l] = static_cast<int>(db[idx].size());
+        max_len = std::max(max_len, w.lens[l]);
+        if (l < count) residues += db[idx].size();
+      }
+
+      core::InterBatchInput in{flat_matrix_.data(), matrix_.size(), query,
+                               w.ptrs.data(), w.lens.data(), max_len};
+      const std::uint64_t overflow =
+          engine->run(prec, in, pen_, w.ws, w.lane_scores.data());
+      for (std::size_t l = 0; l < count; ++l) {
+        const std::size_t idx = pending[begin + l];
+        if ((overflow >> l) & 1u) {
+          w.requeue.push_back(idx);  // saturated: retry at wider precision
+        } else {
+          scores[idx] = w.lane_scores[l];
+        }
+      }
+      w.cells += query.size() * residues;
+    });
+
+    InterTierStats& tier = res.tiers[static_cast<std::size_t>(ti)];
+    tier.lanes = W;
+    tier.subjects = pending.size();
+    tier.batches = batches;
+    tier.seconds = timer.seconds();
+
+    std::vector<std::size_t> next;
+    for (const auto& w : workers) {
+      next.insert(next.end(), w.requeue.begin(), w.requeue.end());
+      tier.cells += w.cells;
+    }
+    std::sort(next.begin(), next.end());
+    tier.overflowed = next.size();
+    tier.gcups = util::gcups_cells(tier.cells, tier.seconds);
+    res.promotions += next.size();
+    pending = std::move(next);
+  }
+
+  res.seconds = total.seconds();
+  // Logical problem size (comparable across precision policies); the
+  // per-tier stats carry the cells actually computed, re-runs included.
   res.cells = query.size() * db.total_residues();
   res.gcups = util::gcups_cells(res.cells, res.seconds);
 
-  std::vector<SearchHit> hits;
-  hits.reserve(scores.size());
-  for (std::size_t i = 0; i < scores.size(); ++i) hits.push_back({i, scores[i]});
-  const std::size_t k = std::min<std::size_t>(10, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
-                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
-  hits.resize(k);
-  res.top = std::move(hits);
-  res.scores = std::move(scores);
+  res.top = select_top_k(scores, opt_.top_k);
+  if (opt_.keep_all_scores) res.scores = std::move(scores);
   return res;
 }
 

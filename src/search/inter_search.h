@@ -3,33 +3,72 @@
 // (striped) DatabaseSearch - the two SWAPHI modes the paper contrasts in
 // Sec. VI-C. Length-sorting the database makes batches length-homogeneous,
 // minimizing padding waste.
+//
+// The engine is adaptive-precision (the SSW/SWAPHI precision ladder): the
+// whole database first runs on the narrowest lanes the backend offers
+// (int8: 32 lanes on AVX2, 64 on AVX-512BW), lanes whose saturating score
+// hit the positive rail are collected into a re-queue and re-batched at
+// int16, and whatever still overflows finishes on the exact int32 tier.
+// Because a narrow lane that did NOT saturate carries the exact score,
+// results are bit-identical to an int32-only run for every database.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 
+#include "core/inter_engine.h"
 #include "search/database_search.h"
 
 namespace aalign::search {
 
+// Per-tier accounting of one tiered search.
+struct InterTierStats {
+  int lanes = 0;                // vector width of this tier (0 = not run)
+  std::size_t subjects = 0;     // subjects attempted at this tier
+  std::size_t batches = 0;      // batches dispatched
+  std::size_t overflowed = 0;   // lanes re-queued to the next tier
+  std::size_t cells = 0;        // DP cells actually computed here
+  double seconds = 0.0;
+  double gcups = 0.0;
+};
+
+struct InterSearchResult : SearchResult {
+  // Indexed by core::InterPrecision (I8, I16, I32).
+  std::array<InterTierStats, core::kInterPrecisionCount> tiers{};
+};
+
 class InterSequenceSearch {
  public:
-  // Local (Smith-Waterman) alignment only; 32-bit scores.
+  // Local (Smith-Waterman) alignment only. `start_width` selects the first
+  // rung of the precision ladder: Auto starts at the narrowest tier the
+  // backend offers; W32 reproduces the exact single-tier behaviour (useful
+  // as a baseline). Of `opt`, the threads / top_k / keep_all_scores /
+  // sort_database knobs apply; the striped-kernel QueryOptions are ignored.
   InterSequenceSearch(const score::ScoreMatrix& matrix, Penalties pen,
+                      SearchOptions opt,
                       std::optional<simd::IsaKind> isa = {},
-                      int threads = 0);
+                      ScoreWidth start_width = ScoreWidth::Auto);
 
-  SearchResult search(std::span<const std::uint8_t> query,
-                      seq::Database& db) const;
+  // Convenience overload matching the historical signature.
+  InterSequenceSearch(const score::ScoreMatrix& matrix, Penalties pen,
+                      std::optional<simd::IsaKind> isa = {}, int threads = 0);
 
+  InterSearchResult search(std::span<const std::uint8_t> query,
+                           seq::Database& db) const;
+
+  // Lane count of the exact (int32) tier - the historical meaning.
   int lanes() const;
+  // Lane count of a specific tier; 0 when the backend lacks it.
+  int lanes(core::InterPrecision p) const;
 
  private:
   const score::ScoreMatrix& matrix_;
   Penalties pen_;
+  SearchOptions opt_;
   simd::IsaKind isa_;
-  int threads_;
+  core::InterPrecision start_;
   std::vector<std::int32_t> flat_matrix_;  // (alpha+1) x alpha with pad row
 };
 

@@ -1,0 +1,34 @@
+// Shared top-k hit selection for the search front-ends. Both the
+// intra-sequence DatabaseSearch and the inter-sequence search rank the
+// same per-subject score vector; keeping the selection in one place keeps
+// their tie-breaking (stable by database index) identical.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "search/database_search.h"
+
+namespace aalign::search {
+
+// Best `top_k` subjects by score, descending; ties resolve to the lower
+// database index (partial_sort is not stable, so the index is part of the
+// comparator — the ranking must not depend on the k requested).
+inline std::vector<SearchHit> select_top_k(const std::vector<long>& scores,
+                                           std::size_t top_k) {
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    hits.push_back(SearchHit{i, scores[i]});
+  }
+  const std::size_t k = std::min(top_k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                    hits.end(), [](const SearchHit& a, const SearchHit& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.index < b.index;
+                    });
+  hits.resize(k);
+  return hits;
+}
+
+}  // namespace aalign::search

@@ -10,7 +10,17 @@
 
 #if defined(__AVX2__)
 
+// GCC 12's avx512fintrin.h implements _mm512_undefined_epi32() with the
+// self-initialization idiom (`__m512i __Y = __Y;`), which trips
+// -Wmaybe-uninitialized once intrinsics such as _mm512_max_epi32 or
+// _mm512_permutexvar_epi32 are inlined into loops (GCC PR105593). The
+// diagnostic state recorded here covers the header's source locations,
+// silencing the false positive without losing the warning elsewhere.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
 #include <immintrin.h>
+#pragma GCC diagnostic pop
 
 #include <cstdint>
 
@@ -41,11 +51,28 @@ struct VecOps<std::int8_t, Avx2Tag> {
   static bool any_gt(reg a, reg b) {
     return _mm256_movemask_epi8(_mm256_cmpgt_epi8(a, b)) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(a, b)));
+  }
   static reg shift_insert(reg v, value_type fill) {
     // t = [0 ; v_low]; alignr stitches the lane-crossing byte.
     const reg t = _mm256_permute2x128_si256(v, v, 0x08);
     reg r = _mm256_alignr_epi8(v, t, 15);
     return _mm256_insert_epi8(r, fill, 0);
+  }
+  // In-register 32-entry table lookup (indices 0..31, bit 7 clear; `row`
+  // 64-byte aligned): pshufb only sees 16-byte windows, so both table
+  // halves are broadcast to the two 128-bit lanes, shuffled by the low
+  // 4 index bits, and blended on idx < 16.
+  static reg table_lookup(const value_type* row, reg idx) {
+    const reg t0 = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(row)));
+    const reg t1 = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(row + 16)));
+    const reg in_lo = _mm256_cmpgt_epi8(_mm256_set1_epi8(16), idx);
+    return _mm256_blendv_epi8(_mm256_shuffle_epi8(t1, idx),
+                              _mm256_shuffle_epi8(t0, idx), in_lo);
   }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
@@ -74,6 +101,16 @@ struct VecOps<std::int16_t, Avx2Tag> {
   static reg min(reg a, reg b) { return _mm256_min_epi16(a, b); }
   static bool any_gt(reg a, reg b) {
     return _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) != 0;
+  }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    // packs narrows lane masks to bytes but interleaves the 128-bit
+    // halves: result bytes [0..7] are lanes 0-7, bytes [16..23] lanes
+    // 8-15. Stitch the two movemask byte-groups back together.
+    const reg c =
+        _mm256_packs_epi16(_mm256_cmpeq_epi16(a, b), _mm256_setzero_si256());
+    const auto m =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(c));
+    return (m & 0xFFu) | ((m >> 8) & 0xFF00u);
   }
   static reg shift_insert(reg v, value_type fill) {
     const reg t = _mm256_permute2x128_si256(v, v, 0x08);
@@ -107,6 +144,10 @@ struct VecOps<std::int32_t, Avx2Tag> {
   static reg min(reg a, reg b) { return _mm256_min_epi32(a, b); }
   static bool any_gt(reg a, reg b) {
     return _mm256_movemask_epi8(_mm256_cmpgt_epi32(a, b)) != 0;
+  }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return static_cast<std::uint64_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))));
   }
   static reg shift_insert(reg v, value_type fill) {
     const reg idx = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);

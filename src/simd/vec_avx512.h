@@ -15,7 +15,14 @@
 
 #if defined(__AVX512F__)
 
+// Silence GCC PR105593: _mm512_undefined_epi32()'s `__Y = __Y;` idiom
+// false-positives -Wmaybe-uninitialized when max/permutexvar intrinsics
+// are inlined into loops. See vec_avx2.h for the full note.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
 #include <immintrin.h>
+#pragma GCC diagnostic pop
 
 #include <cstdint>
 
@@ -42,6 +49,9 @@ struct VecOps<std::int32_t, Avx512Tag> {
   static bool any_gt(reg a, reg b) {
     return _mm512_cmpgt_epi32_mask(a, b) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return _mm512_cmpeq_epi32_mask(a, b);
+  }
   static reg shift_insert(reg v, value_type fill) {
     const reg idx = _mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                       12, 13, 14);
@@ -52,6 +62,14 @@ struct VecOps<std::int32_t, Avx512Tag> {
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
   static reg gather(const value_type* base, reg idx) {
     return _mm512_i32gather_epi32(idx, base, 4);
+  }
+  // In-register 32-entry table lookup (indices 0..31; `row` 64-byte
+  // aligned with >= 32 readable entries): vpermt2d's index bit 4 selects
+  // the second table half. IMCI would spell this permutevar + a blend on
+  // the high index bit - same two-register shape.
+  static reg table_lookup(const value_type* row, reg idx) {
+    return _mm512_permutex2var_epi32(_mm512_load_si512(row), idx,
+                                     _mm512_load_si512(row + 16));
   }
 };
 

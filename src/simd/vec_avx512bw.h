@@ -11,7 +11,14 @@
 
 #if defined(__AVX512BW__) && defined(__AVX512VBMI__)
 
+// Silence GCC PR105593: _mm512_undefined_epi32()'s `__Y = __Y;` idiom
+// false-positives -Wmaybe-uninitialized when max/permutexvar intrinsics
+// are inlined into loops. See vec_avx2.h for the full note.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
 #include <immintrin.h>
+#pragma GCC diagnostic pop
 
 #include <cstdint>
 
@@ -38,6 +45,9 @@ struct VecOps<std::int8_t, Avx512BwTag> {
   static bool any_gt(reg a, reg b) {
     return _mm512_cmpgt_epi8_mask(a, b) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return _mm512_cmpeq_epi8_mask(a, b);
+  }
   static reg shift_insert(reg v, value_type fill) {
     static const reg idx = [] {
       alignas(64) std::int8_t a[64];
@@ -47,6 +57,12 @@ struct VecOps<std::int8_t, Avx512BwTag> {
     }();
     const reg r = _mm512_permutexvar_epi8(idx, v);
     return _mm512_mask_mov_epi8(r, __mmask64{1}, _mm512_set1_epi8(fill));
+  }
+  // In-register 32-entry table lookup (indices 0..31; `row` 64-byte
+  // aligned with >= 64 readable entries): vpermb makes the inter kernel's
+  // score-profile build one permute per alphabet symbol. Needs VBMI.
+  static reg table_lookup(const value_type* row, reg idx) {
+    return _mm512_permutexvar_epi8(idx, _mm512_load_si512(row));
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
@@ -68,6 +84,9 @@ struct VecOps<std::int16_t, Avx512BwTag> {
   static bool any_gt(reg a, reg b) {
     return _mm512_cmpgt_epi16_mask(a, b) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return _mm512_cmpeq_epi16_mask(a, b);
+  }
   static reg shift_insert(reg v, value_type fill) {
     static const reg idx = [] {
       alignas(64) std::int16_t a[32];
@@ -77,6 +96,11 @@ struct VecOps<std::int16_t, Avx512BwTag> {
     }();
     const reg r = _mm512_permutexvar_epi16(idx, v);
     return _mm512_mask_mov_epi16(r, __mmask32{1}, _mm512_set1_epi16(fill));
+  }
+  // 32-entry table lookup: one register holds all 32 int16 entries, vpermw
+  // selects per lane (indices 0..31).
+  static reg table_lookup(const value_type* row, reg idx) {
+    return _mm512_permutexvar_epi16(idx, _mm512_load_si512(row));
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
@@ -98,6 +122,9 @@ struct VecOps<std::int32_t, Avx512BwTag> {
   static bool any_gt(reg a, reg b) {
     return _mm512_cmpgt_epi32_mask(a, b) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return _mm512_cmpeq_epi32_mask(a, b);
+  }
   static reg shift_insert(reg v, value_type fill) {
     const reg idx = _mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
                                       12, 13, 14);
@@ -108,6 +135,12 @@ struct VecOps<std::int32_t, Avx512BwTag> {
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
   static reg gather(const value_type* base, reg idx) {
     return _mm512_i32gather_epi32(idx, base, 4);
+  }
+  // 32-entry table lookup across two registers: vpermt2d's index bit 4
+  // selects the second table half (indices 0..31).
+  static reg table_lookup(const value_type* row, reg idx) {
+    return _mm512_permutex2var_epi32(_mm512_load_si512(row), idx,
+                                     _mm512_load_si512(row + 16));
   }
 };
 

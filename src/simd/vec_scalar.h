@@ -81,6 +81,17 @@ struct VecOps<T, ScalarTag> {
     return false;
   }
 
+  // Per-lane equality bitmask (bit l set when a[l] == b[l]). The
+  // saturation test of the multi-precision inter-sequence engine: lanes
+  // whose running maximum is pinned at the positive rail overflowed and
+  // must be re-run at wider precision.
+  static std::uint64_t eq_mask(reg a, reg b) {
+    std::uint64_t m = 0;
+    for (int l = 0; l < kWidth; ++l)
+      if (a.lane[l] == b.lane[l]) m |= std::uint64_t{1} << l;
+    return m;
+  }
+
   static reg shift_insert(reg v, T fill) {
     reg r;
     r.lane[0] = fill;

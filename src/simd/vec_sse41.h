@@ -38,9 +38,23 @@ struct VecOps<std::int8_t, Sse41Tag> {
   static bool any_gt(reg a, reg b) {
     return _mm_movemask_epi8(_mm_cmpgt_epi8(a, b)) != 0;
   }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return static_cast<std::uint16_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(a, b)));
+  }
   static reg shift_insert(reg v, value_type fill) {
     reg r = _mm_slli_si128(v, 1);  // byte left-shift = lane l -> l+1
     return _mm_insert_epi8(r, fill, 0);
+  }
+  // In-register 32-entry table lookup (indices 0..31, bit 7 clear; `row`
+  // 64-byte aligned): two pshufbs over the 16-entry halves, blended on
+  // idx < 16.
+  static reg table_lookup(const value_type* row, reg idx) {
+    const reg t0 = _mm_load_si128(reinterpret_cast<const __m128i*>(row));
+    const reg t1 = _mm_load_si128(reinterpret_cast<const __m128i*>(row + 16));
+    const reg in_lo = _mm_cmplt_epi8(idx, _mm_set1_epi8(16));
+    return _mm_blendv_epi8(_mm_shuffle_epi8(t1, idx), _mm_shuffle_epi8(t0, idx),
+                           in_lo);
   }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
@@ -69,6 +83,12 @@ struct VecOps<std::int16_t, Sse41Tag> {
   static reg min(reg a, reg b) { return _mm_min_epi16(a, b); }
   static bool any_gt(reg a, reg b) {
     return _mm_movemask_epi8(_mm_cmpgt_epi16(a, b)) != 0;
+  }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    // packs narrows the 0xFFFF/0x0000 lane masks to bytes (saturation
+    // keeps -1 at -1), giving one movemask bit per int16 lane.
+    const reg c = _mm_packs_epi16(_mm_cmpeq_epi16(a, b), _mm_setzero_si128());
+    return static_cast<std::uint64_t>(_mm_movemask_epi8(c)) & 0xFFu;
   }
   static reg shift_insert(reg v, value_type fill) {
     reg r = _mm_slli_si128(v, 2);
@@ -103,6 +123,10 @@ struct VecOps<std::int32_t, Sse41Tag> {
   static reg min(reg a, reg b) { return _mm_min_epi32(a, b); }
   static bool any_gt(reg a, reg b) {
     return _mm_movemask_epi8(_mm_cmpgt_epi32(a, b)) != 0;
+  }
+  static std::uint64_t eq_mask(reg a, reg b) {
+    return static_cast<std::uint64_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(a, b))));
   }
   static reg shift_insert(reg v, value_type fill) {
     reg r = _mm_slli_si128(v, 4);

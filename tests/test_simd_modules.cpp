@@ -205,6 +205,32 @@ void influence_and_hmax() {
 }
 
 template <class Ops>
+void eq_mask_semantics() {
+  // The multi-precision inter-sequence engine's saturation test.
+  using T = typename Ops::value_type;
+  constexpr int W = Ops::kWidth;
+  std::mt19937_64 rng(77);
+
+  for (int iter = 0; iter < 30; ++iter) {
+    auto a = random_values<Ops>(rng, W, true);
+    auto b = random_values<Ops>(rng, W, true);
+    // Force some equal lanes (including the rail value the engine tests).
+    for (int l = 0; l < W; ++l) {
+      if (rng() % 3 == 0) b[l] = a[l];
+      if (rng() % 5 == 0) a[l] = b[l] = std::numeric_limits<T>::max();
+    }
+    alignas(64) T abuf[W], bbuf[W];
+    std::copy(a.begin(), a.end(), abuf);
+    std::copy(b.begin(), b.end(), bbuf);
+    std::uint64_t expect = 0;
+    for (int l = 0; l < W; ++l) {
+      if (a[l] == b[l]) expect |= std::uint64_t{1} << l;
+    }
+    ASSERT_EQ(Ops::eq_mask(Ops::load(abuf), Ops::load(bbuf)), expect);
+  }
+}
+
+template <class Ops>
 void gather_semantics() {
   // int32 lanes only (the inter-sequence kernel's dependency).
   using T = typename Ops::value_type;
@@ -224,13 +250,38 @@ void gather_semantics() {
 }
 
 template <class Ops>
+void table_lookup_semantics() {
+  // Optional primitive (backends with an in-register permute): 32-entry
+  // table select, the inter-sequence score-profile build.
+  using T = typename Ops::value_type;
+  using reg = typename Ops::reg;
+  if constexpr (requires(const T* p, reg r) { Ops::table_lookup(p, r); }) {
+    constexpr int W = Ops::kWidth;
+    std::mt19937_64 rng(66);
+    alignas(64) T table[64] = {};
+    for (int c = 0; c < 32; ++c) {
+      table[c] = static_cast<T>(static_cast<int>(rng() % 200) - 100);
+    }
+    std::uniform_int_distribution<int> idx_d(0, 31);
+    for (int iter = 0; iter < 30; ++iter) {
+      alignas(64) T idx[W], out[W];
+      for (int l = 0; l < W; ++l) idx[l] = static_cast<T>(idx_d(rng));
+      Ops::store(out, Ops::table_lookup(table, Ops::load(idx)));
+      for (int l = 0; l < W; ++l) ASSERT_EQ(out[l], table[idx[l]]);
+    }
+  }
+}
+
+template <class Ops>
 void run_all() {
   primitive_roundtrip_and_arith<Ops>();
   shift_insert_semantics<Ops>();
   set_vector_semantics<Ops>();
   wgt_max_scan_matches_reference<Ops>();
   influence_and_hmax<Ops>();
+  eq_mask_semantics<Ops>();
   gather_semantics<Ops>();
+  table_lookup_semantics<Ops>();
 }
 
 #define AALIGN_SIMD_TEST(SUITE, T, TAG)                       \
