@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/adaptive.h"
+#include "core/sequential.h"
 #include "simd/modules.h"
 
 namespace aalign::core {
@@ -11,7 +12,11 @@ namespace aalign::core {
 QueryContext::QueryContext(const score::ScoreMatrix& matrix,
                            const AlignConfig& cfg, const QueryOptions& opt,
                            std::span<const std::uint8_t> query)
-    : matrix_(matrix), cfg_(cfg), opt_(opt), query_len_(query.size()) {
+    : matrix_(matrix),
+      cfg_(cfg),
+      opt_(opt),
+      query_(query.begin(), query.end()),
+      query_len_(query.size()) {
   cfg_.validate();
   if (query.empty()) throw std::invalid_argument("QueryContext: empty query");
   if (!simd::isa_available(opt_.isa)) {
@@ -72,7 +77,13 @@ KernelResult QueryContext::run_width(std::span<const std::uint8_t> subject,
 AdaptiveResult QueryContext::align(std::span<const std::uint8_t> subject,
                                    WorkspaceSet& ws, bool track_end) const {
   if (subject.empty()) {
-    throw std::invalid_argument("QueryContext: empty subject");
+    // Boundary case the striped kernels never see: the exact score is the
+    // oracle's degenerate boundary value (0 for local, full-length query
+    // gap for global, ...). Deterministic and width-independent.
+    AdaptiveResult out;
+    out.kernel.score = align_sequential(matrix_, cfg_, query_, subject);
+    out.width = widths_.back();
+    return out;
   }
   const ScoreWidth start = choose_start_width(cfg_, matrix_, query_len_,
                                               subject.size(), widths_);

@@ -46,6 +46,7 @@ class QueryContext {
   // Runs the kernel at the narrowest viable width, promoting on
   // saturation. Thread-safe given a per-thread WorkspaceSet.
   // track_end records KernelResult::subject_end (see core/local_path.h).
+  // An empty subject is legal and scored exactly (boundary conditions).
   AdaptiveResult align(std::span<const std::uint8_t> subject,
                        WorkspaceSet& ws, bool track_end = false) const;
 
@@ -53,6 +54,9 @@ class QueryContext {
   const QueryOptions& options() const { return opt_; }
   const std::vector<ScoreWidth>& widths() const { return widths_; }
   std::size_t query_length() const { return query_len_; }
+  // The encoded query this context was built from (the batch layer keys
+  // its profile cache on these bytes).
+  std::span<const std::uint8_t> query() const { return query_; }
 
  private:
   template <class T>
@@ -62,6 +66,7 @@ class QueryContext {
   const score::ScoreMatrix& matrix_;
   AlignConfig cfg_;
   QueryOptions opt_;
+  std::vector<std::uint8_t> query_;
   std::size_t query_len_ = 0;
   std::vector<ScoreWidth> widths_;
 

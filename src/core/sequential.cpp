@@ -18,9 +18,10 @@ long align_sequential(const score::ScoreMatrix& matrix,
   cfg.validate();
   const long m = static_cast<long>(query.size());
   const long n = static_cast<long>(subject.size());
-  if (m == 0 || n == 0) {
-    throw std::invalid_argument("align_sequential: empty sequence");
-  }
+  // Empty sequences are well-defined: the recurrence degenerates to the
+  // boundary rows/columns (local = 0, global = the full-length gap, the
+  // semiglobal kinds per their free ends), and the generic code below
+  // computes exactly that when one or both loops run zero iterations.
 
   const long first_u = -(cfg.pen.query.open + cfg.pen.query.extend);
   const long ext_u = -cfg.pen.query.extend;

@@ -12,7 +12,9 @@
 
 namespace aalign::core {
 
-// Best-path score of aligning query vs subject under cfg.
+// Best-path score of aligning query vs subject under cfg. Empty inputs are
+// legal: the score degenerates to the boundary conditions (0 for local,
+// the full-length gap for global, the free ends for the semiglobal kinds).
 long align_sequential(const score::ScoreMatrix& matrix,
                       const AlignConfig& cfg,
                       std::span<const std::uint8_t> query,

@@ -1,0 +1,131 @@
+// BatchScheduler: many-query database search as one task grid.
+//
+// The serial per-query loop (historical DatabaseSearch::search_many) ran
+// whole queries back to back: every query rebuilt its QueryContext, spawned
+// and joined a fresh worker set, and idled the pool on its subject tail.
+// The scheduler instead flattens the whole workload into (query,
+// subject-shard) tiles dispatched over a single work-stealing deque pool
+// (search/thread_pool.h), so no worker idles while ANY query still has
+// subjects left, and per-query state is built once and shared:
+//
+//   * immutable per-query state (core::QueryContext: striped score
+//     profiles for every width, engine pointers) lives in an LRU keyed by
+//     (query bytes, config) - repeated queries in a batch skip profile
+//     construction entirely;
+//   * per-tile KernelStats / promotion counters accumulate into per-worker
+//     slots and are merged lock-free after the pool drains;
+//   * every worker keeps one WorkspaceSet for the whole batch instead of
+//     one per (query, worker).
+//
+// Determinism: a subject's score depends only on (query, subject, config),
+// never on tile shape or scheduling, so batched results are bit-identical
+// to the serial loop for every thread count and shard size (tested).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_context.h"
+#include "search/database_search.h"
+#include "search/thread_pool.h"
+#include "seq/database.h"
+
+namespace aalign::search {
+
+// Thread-safe LRU of built QueryContexts. The key is the exact byte string
+// (encoded query + config/option fingerprint); each distinct key is built
+// at most once across all threads (per-slot build lock), and hit/miss/
+// eviction counters are exact.
+class QueryProfileCache {
+ public:
+  explicit QueryProfileCache(std::size_t capacity);
+
+  // Returns the context for (query, cfg, opt), building and inserting it
+  // if absent. Throws what QueryContext's constructor throws (the failed
+  // slot is removed, so a later retry re-builds).
+  std::shared_ptr<const core::QueryContext> get_or_build(
+      const score::ScoreMatrix& matrix, const AlignConfig& cfg,
+      const core::QueryOptions& opt, std::span<const std::uint8_t> query);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::vector<std::uint8_t> key;
+    std::uint64_t hash = 0;
+    std::mutex build_mu;
+    std::shared_ptr<const core::QueryContext> ctx;
+  };
+  using SlotList = std::list<std::shared_ptr<Slot>>;
+
+  void erase_slot_locked(const std::shared_ptr<Slot>& slot);
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  SlotList lru_;  // front = most recently used
+  std::unordered_multimap<std::uint64_t, SlotList::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+// Aggregate accounting of one BatchScheduler::run.
+struct BatchStats {
+  std::size_t queries = 0;
+  std::size_t subjects = 0;
+  std::size_t tiles = 0;
+  std::size_t shard_size = 0;  // resolved value (after auto-sizing)
+  int threads = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t dedup_queries = 0;  // occurrences served by an identical
+                                    // query's scan instead of their own
+  PoolStats pool;            // steal counters of the tile run
+  double wall_seconds = 0.0;
+  double busy_seconds = 0.0;  // summed per-worker in-tile time
+  double occupancy = 0.0;     // busy / (threads * wall), 1.0 = no idling
+  std::size_t cells = 0;      // DP cells actually computed (after dedup)
+  double gcups = 0.0;         // batch aggregate throughput
+};
+
+class BatchScheduler {
+ public:
+  // Of `opt`, the scheduling knobs (threads, shard_size,
+  // profile_cache_capacity), the query kernel options, and the result
+  // knobs (top_k, keep_all_scores, sort_database) all apply.
+  BatchScheduler(const score::ScoreMatrix& matrix, AlignConfig cfg,
+                 SearchOptions opt = {});
+
+  // Runs every query against db (sorted in place once when
+  // opt.sort_database). Results are in query order, scores/hits indexed by
+  // ORIGINAL database position. Occurrences of byte-identical queries
+  // (same cached context) are scanned once and share the result - still
+  // bit-identical to scanning each occurrence, since the inputs are the
+  // same. The profile cache persists across run() calls, so repeated
+  // queries in later batches also hit.
+  std::vector<SearchResult> run(
+      const std::vector<std::vector<std::uint8_t>>& queries,
+      seq::Database& db);
+
+  const BatchStats& last_stats() const { return stats_; }
+  const QueryProfileCache& cache() const { return cache_; }
+
+ private:
+  const score::ScoreMatrix& matrix_;
+  AlignConfig cfg_;
+  SearchOptions opt_;
+  QueryProfileCache cache_;
+  BatchStats stats_;
+};
+
+}  // namespace aalign::search

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "search/batch_scheduler.h"
 #include "search/thread_pool.h"
 #include "search/top_k.h"
 #include "util/stopwatch.h"
@@ -58,6 +59,7 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
     res.stats.switches += w.stats.switches;
   }
 
+  remap_scores_to_original(db, scores);
   res.top = select_top_k(scores, opt_.top_k);
   if (opt_.keep_all_scores) res.scores = std::move(scores);
   return res;
@@ -66,12 +68,19 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
 std::vector<SearchResult> DatabaseSearch::search_many(
     const std::vector<std::vector<std::uint8_t>>& queries,
     seq::Database& db) const {
+  if (opt_.batch_queries) {
+    // One task grid for the whole workload: (query, subject-shard) tiles
+    // over a single work-stealing pool, profiles LRU-cached.
+    BatchScheduler scheduler(matrix_, cfg_, opt_);
+    return scheduler.run(queries, db);
+  }
+
+  // Historical serial loop: each query fans out across all workers, then
+  // the pool drains before the next query starts. Kept as the oracle the
+  // batched mode is verified against (results are bit-identical).
   if (opt_.sort_database) db.sort_by_length_desc();
   std::vector<SearchResult> out;
   out.reserve(queries.size());
-  // Each query already fans out across all workers, so queries run in
-  // sequence; the per-query QueryContext rebuild is the profile cost the
-  // paper's Sec. V-E amortizes within one query's scan.
   SearchOptions per_query = opt_;
   per_query.sort_database = false;  // sorted once above
   DatabaseSearch inner(matrix_, cfg_, per_query);

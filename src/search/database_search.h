@@ -19,15 +19,28 @@ struct SearchOptions {
   std::size_t top_k = 10;
   bool keep_all_scores = true;  // retain the per-subject score vector
   bool sort_database = true;    // length-sort for load balance
+
+  // search_many scheduling (see search/batch_scheduler.h). With
+  // batch_queries the whole workload is flattened into (query,
+  // subject-shard) tiles over one work-stealing pool; results are
+  // bit-identical to the serial per-query loop either way.
+  bool batch_queries = true;
+  std::size_t shard_size = 0;             // subjects per tile; 0 = auto
+  std::size_t profile_cache_capacity = 64;  // distinct cached QueryContexts
 };
 
 struct SearchHit {
-  std::size_t index = 0;  // position in the (possibly re-sorted) database
+  // ORIGINAL database position (insertion order), even when
+  // sort_database re-ordered the storage: resolve the record with
+  // db.by_original(index). Scores vectors use the same original indexing.
+  std::size_t index = 0;
   long score = 0;
 };
 
 struct SearchResult {
-  std::vector<long> scores;    // per subject (empty if !keep_all_scores)
+  // Per subject, indexed by ORIGINAL database position (empty if
+  // !keep_all_scores); independent of sort_database re-ordering.
+  std::vector<long> scores;
   std::vector<SearchHit> top;  // best top_k, descending score
   double seconds = 0.0;
   std::size_t cells = 0;  // total m*n DP cells computed
@@ -45,9 +58,13 @@ class DatabaseSearch {
   SearchResult search(std::span<const std::uint8_t> query,
                       seq::Database& db) const;
 
-  // Many-vs-all: runs each query against the database, reusing the sorted
-  // order and the worker pool configuration. Results are returned in
-  // query order.
+  // Many-vs-all: runs each query against the database. Results are
+  // returned in query order and are bit-identical regardless of the
+  // scheduling mode: with opt.batch_queries (default) the workload is
+  // flattened into (query, subject-shard) tiles over one work-stealing
+  // pool (BatchScheduler); otherwise each query runs as a full search()
+  // in sequence (the historical serial loop). In batched mode the
+  // per-result `seconds` is the whole batch's wall clock.
   std::vector<SearchResult> search_many(
       const std::vector<std::vector<std::uint8_t>>& queries,
       seq::Database& db) const;

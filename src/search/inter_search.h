@@ -58,6 +58,18 @@ class InterSequenceSearch {
   InterSearchResult search(std::span<const std::uint8_t> query,
                            seq::Database& db) const;
 
+  // Many-vs-all on one task grid: every (query, subject-shard) tile goes
+  // through the work-stealing pool, and each tile runs the precision
+  // ladder locally (re-queueing saturated lanes within the shard). Lane
+  // independence makes per-subject scores bit-identical to per-query
+  // search() calls for every shard size and thread count; per-tier
+  // *timing* is not collected in this mode (tier seconds/gcups stay 0),
+  // and each result's `seconds` is the whole batch's wall clock. Results
+  // are in query order, scores/hits indexed by ORIGINAL database position.
+  std::vector<InterSearchResult> search_many(
+      const std::vector<std::vector<std::uint8_t>>& queries,
+      seq::Database& db) const;
+
   // Lane count of the exact (int32) tier - the historical meaning.
   int lanes() const;
   // Lane count of a specific tier; 0 when the backend lacks it.

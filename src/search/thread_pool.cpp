@@ -1,6 +1,9 @@
 #include "search/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
 #include <exception>
 #include <mutex>
 
@@ -11,39 +14,134 @@ int default_thread_count() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void parallel_for_dynamic(std::size_t count, int threads,
-                          const std::function<void(int, std::size_t)>& fn) {
+namespace {
+
+// One worker's deque. A plain mutex-guarded deque: every pop/steal costs a
+// short critical section, which is noise next to one alignment kernel call,
+// and keeps the steal-half transfer trivially race-free (no ABA, no bounded
+// ring). Padded out to a cache line so neighbouring locks don't false-share.
+struct alignas(64) WorkerDeque {
+  std::mutex mu;
+  std::deque<std::size_t> items;
+};
+
+}  // namespace
+
+void parallel_for_work_stealing(
+    std::size_t count, int threads,
+    const std::function<void(int, std::size_t)>& fn, PoolStats* stats) {
   threads = std::max(1, threads);
+  if (stats != nullptr) *stats = PoolStats{};
   if (threads == 1 || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
+  const int T = threads;
+  std::vector<WorkerDeque> deques(static_cast<std::size_t>(T));
 
-  std::atomic<std::size_t> next{0};
+  // Striped initial distribution: item i starts on worker i % T. With a
+  // longest-first sorted workload every worker gets an equal slice of each
+  // size class, and the front-pop below preserves the global big-items-
+  // first order within each worker.
+  for (std::size_t i = 0; i < count; ++i) {
+    deques[i % static_cast<std::size_t>(T)].items.push_back(i);
+  }
+
+  std::atomic<std::size_t> remaining{count};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::atomic<std::uint64_t> steals{0}, stolen_items{0}, steal_scans{0};
 
   auto worker = [&](int id) {
+    WorkerDeque& own = deques[static_cast<std::size_t>(id)];
+    std::vector<std::size_t> grabbed;  // steal transfer buffer
+    int idle_rounds = 0;
     try {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
-        fn(id, i);
+      while (!abort.load(std::memory_order_acquire) &&
+             remaining.load(std::memory_order_acquire) > 0) {
+        std::size_t item = 0;
+        bool have = false;
+        {
+          std::lock_guard<std::mutex> lock(own.mu);
+          if (!own.items.empty()) {
+            item = own.items.front();
+            own.items.pop_front();
+            have = true;
+          }
+        }
+        if (!have) {
+          // Steal half of some victim's tail. The victim lock is released
+          // before touching our own deque, so no thread ever holds two
+          // locks - the scheme cannot deadlock.
+          grabbed.clear();
+          for (int off = 1; off < T; ++off) {
+            WorkerDeque& victim =
+                deques[static_cast<std::size_t>((id + off) % T)];
+            std::unique_lock<std::mutex> vlock(victim.mu, std::try_to_lock);
+            if (!vlock.owns_lock()) continue;  // contended: try the next one
+            const std::size_t n = victim.items.size();
+            if (n == 0) continue;
+            const std::size_t take = (n + 1) / 2;  // steal-half, round up
+            grabbed.assign(victim.items.end() - static_cast<long>(take),
+                           victim.items.end());
+            victim.items.erase(
+                victim.items.end() - static_cast<long>(take),
+                victim.items.end());
+            break;
+          }
+          if (grabbed.empty()) {
+            steal_scans.fetch_add(1, std::memory_order_relaxed);
+            // Nothing to steal anywhere: another worker is finishing the
+            // tail. Yield, then back off harder so a long-running item
+            // doesn't get starved by spinning siblings.
+            if (++idle_rounds > 64) {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+            } else {
+              std::this_thread::yield();
+            }
+            continue;
+          }
+          idle_rounds = 0;
+          steals.fetch_add(1, std::memory_order_relaxed);
+          stolen_items.fetch_add(grabbed.size(), std::memory_order_relaxed);
+          item = grabbed.front();
+          {
+            std::lock_guard<std::mutex> lock(own.mu);
+            own.items.insert(own.items.end(), grabbed.begin() + 1,
+                             grabbed.end());
+          }
+        }
+        idle_rounds = 0;
+        fn(id, item);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      // Drain remaining work so the other threads stop quickly.
-      next.store(count, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_release);
     }
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  pool.reserve(static_cast<std::size_t>(T) - 1);
+  for (int t = 1; t < T; ++t) pool.emplace_back(worker, t);
   worker(0);
   for (std::thread& t : pool) t.join();
+
+  if (stats != nullptr) {
+    stats->steals = steals.load();
+    stats->stolen_items = stolen_items.load();
+    stats->steal_scans = steal_scans.load();
+  }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_dynamic(std::size_t count, int threads,
+                          const std::function<void(int, std::size_t)>& fn) {
+  parallel_for_work_stealing(count, threads, fn, nullptr);
 }
 
 }  // namespace aalign::search

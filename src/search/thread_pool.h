@@ -1,20 +1,43 @@
-// Minimal thread pool with a dynamic work queue, the paper's Sec. V-E
-// "dynamic binding" of subjects to threads: workers pull the next item
-// index from a shared atomic counter, so a length-sorted database yields
-// near-perfect load balance without static partitioning.
+// Work-stealing thread pool for the search layer.
+//
+// Each worker owns a deque of item indices (striped initial distribution,
+// so a length-sorted workload starts balanced); the owner pops from the
+// front and idle workers steal the back *half* of a victim's deque.
+// Compared with the original shared-atomic-counter queue this keeps the
+// pool scalable when many heterogeneous tile streams (multi-query batches)
+// are in flight at once, and no worker idles while any deque has items.
+//
+// parallel_for_dynamic - the paper's Sec. V-E "dynamic binding" entry
+// point - is kept as a shim over the work-stealing run.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
 namespace aalign::search {
 
+// Counters of one parallel run (all-worker totals).
+struct PoolStats {
+  std::uint64_t steals = 0;        // successful steal-half operations
+  std::uint64_t stolen_items = 0;  // items migrated by those steals
+  std::uint64_t steal_scans = 0;   // victim scans that found nothing
+};
+
 // Runs fn(worker_id, item_index) for every index in [0, count) across
-// `threads` workers. Blocks until all items complete. Exceptions thrown by
-// fn are rethrown (first one wins) after all workers join.
+// `threads` workers using per-worker deques with steal-half semantics.
+// Blocks until all items complete. Exceptions thrown by fn are rethrown
+// (first one wins) after all workers join; remaining items are abandoned.
+// `stats`, when non-null, receives the run's steal counters.
+void parallel_for_work_stealing(
+    std::size_t count, int threads,
+    const std::function<void(int, std::size_t)>& fn,
+    PoolStats* stats = nullptr);
+
+// Historical entry point (shared dynamic queue semantics): now a shim over
+// parallel_for_work_stealing with identical observable behaviour.
 void parallel_for_dynamic(
     std::size_t count, int threads,
     const std::function<void(int, std::size_t)>& fn);

@@ -8,8 +8,22 @@
 #include <vector>
 
 #include "search/database_search.h"
+#include "seq/database.h"
 
 namespace aalign::search {
+
+// Re-indexes a score vector computed in the database's CURRENT (possibly
+// length-sorted) order back to original insertion order, so results are
+// stable under sort_database. No-op while the database is unpermuted.
+inline void remap_scores_to_original(const seq::Database& db,
+                                     std::vector<long>& scores) {
+  if (!db.permuted()) return;
+  std::vector<long> orig(scores.size());
+  for (std::size_t pos = 0; pos < scores.size(); ++pos) {
+    orig[db.original_index(pos)] = scores[pos];
+  }
+  scores = std::move(orig);
+}
 
 // Best `top_k` subjects by score, descending; ties resolve to the lower
 // database index (partial_sort is not stable, so the index is part of the

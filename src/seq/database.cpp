@@ -1,6 +1,7 @@
 #include "seq/database.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace aalign::seq {
 
@@ -12,14 +13,37 @@ Database::Database(const score::Alphabet& alphabet,
 
 void Database::add(EncodedSequence s) {
   total_residues_ += s.size();
+  if (!orig_.empty()) {
+    // Already permuted: the new sequence's original index is its insertion
+    // rank; it lands at the current back.
+    orig_.push_back(orig_.size());
+    inv_.push_back(inv_.size());
+  }
   seqs_.push_back(std::move(s));
 }
 
 void Database::sort_by_length_desc() {
-  std::stable_sort(seqs_.begin(), seqs_.end(),
-                   [](const EncodedSequence& a, const EncodedSequence& b) {
-                     return a.size() > b.size();
+  std::vector<std::size_t> perm(seqs_.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return seqs_[a].size() > seqs_[b].size();
                    });
+  const bool identity =
+      std::is_sorted(perm.begin(), perm.end());
+  if (identity && orig_.empty()) return;  // nothing moved, stay identity
+
+  std::vector<EncodedSequence> sorted;
+  sorted.reserve(seqs_.size());
+  std::vector<std::size_t> new_orig(seqs_.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    sorted.push_back(std::move(seqs_[perm[i]]));
+    new_orig[i] = orig_.empty() ? perm[i] : orig_[perm[i]];
+  }
+  seqs_ = std::move(sorted);
+  orig_ = std::move(new_orig);
+  inv_.assign(orig_.size(), 0);
+  for (std::size_t pos = 0; pos < orig_.size(); ++pos) inv_[orig_[pos]] = pos;
 }
 
 }  // namespace aalign::seq

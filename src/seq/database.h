@@ -20,11 +20,29 @@ class Database {
 
   // Longest-first ordering: with a dynamic work queue this gives near-
   // perfect load balance (the paper's sort + dynamic binding mechanism).
+  // The permutation is recorded, so callers can always map a current
+  // position back to the sequence's original insertion index (and search
+  // results are reported in original-index terms regardless of sorting).
   void sort_by_length_desc();
 
   std::size_t size() const { return seqs_.size(); }
   bool empty() const { return seqs_.empty(); }
   const EncodedSequence& operator[](std::size_t i) const { return seqs_[i]; }
+
+  // Original insertion index of the sequence currently at `pos`.
+  std::size_t original_index(std::size_t pos) const {
+    return orig_.empty() ? pos : orig_[pos];
+  }
+  // Current position of the sequence originally added at `original`.
+  std::size_t position_of(std::size_t original) const {
+    return inv_.empty() ? original : inv_[original];
+  }
+  // The sequence originally added at `original` (wherever it now lives).
+  const EncodedSequence& by_original(std::size_t original) const {
+    return seqs_[position_of(original)];
+  }
+  // True once a sort has re-ordered the database.
+  bool permuted() const { return !orig_.empty(); }
 
   // Total residue count (for GCUPS accounting).
   std::size_t total_residues() const { return total_residues_; }
@@ -34,6 +52,10 @@ class Database {
 
  private:
   std::vector<EncodedSequence> seqs_;
+  // orig_[pos] = original index; inv_[original] = pos. Both empty while the
+  // database is still in insertion order (identity permutation).
+  std::vector<std::size_t> orig_;
+  std::vector<std::size_t> inv_;
   std::size_t total_residues_ = 0;
 };
 

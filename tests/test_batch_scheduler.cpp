@@ -1,0 +1,280 @@
+// BatchScheduler: the batched many-query search must be bit-identical to
+// the serial per-query loop for every thread count x shard size x top_k
+// combination; the profile LRU must behave like a textbook LRU with exact
+// counters; hits must carry ORIGINAL database indices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/sequential.h"
+#include "search/batch_scheduler.h"
+#include "search/database_search.h"
+#include "seq/generator.h"
+#include "seq/pairgen.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+seq::Database make_db(std::uint64_t seed, std::size_t count,
+                      double median_len = 100.0) {
+  seq::SequenceGenerator gen(seed);
+  return seq::Database(score::Alphabet::protein(),
+                       gen.protein_database(count, median_len, 0.6, 10, 400));
+}
+
+std::vector<std::vector<std::uint8_t>> make_queries(std::uint64_t seed) {
+  seq::SequenceGenerator gen(seed);
+  std::vector<std::vector<std::uint8_t>> qs;
+  for (std::size_t len : {60, 150, 90, 220}) {
+    qs.push_back(score::Alphabet::protein().encode(gen.protein(len).residues));
+  }
+  qs.push_back(qs[1]);  // a repeat, so the profile cache gets a hit
+  return qs;
+}
+
+// The central contract: batched == serial, bit for bit, over the full
+// scheduling parameter grid.
+TEST(BatchScheduler, BitIdenticalToSerialLoopAcrossGrid) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  const auto queries = make_queries(81);
+  const seq::Database base_db = make_db(82, 90);
+
+  // Serial oracle (historical per-query loop).
+  search::SearchOptions serial_opt;
+  serial_opt.batch_queries = false;
+  serial_opt.threads = 2;
+  serial_opt.top_k = 10;
+  std::vector<search::SearchResult> oracle;
+  {
+    seq::Database db = base_db;
+    oracle = search::DatabaseSearch(m, cfg, serial_opt).search_many(queries, db);
+  }
+  ASSERT_EQ(oracle.size(), queries.size());
+
+  for (int threads : {1, 2, 8}) {
+    for (std::size_t shard : {std::size_t{1}, std::size_t{7}, std::size_t{0},
+                              std::size_t{64}}) {
+      for (std::size_t top_k : {std::size_t{0}, std::size_t{3},
+                                std::size_t{10}}) {
+        search::SearchOptions opt;
+        opt.batch_queries = true;
+        opt.threads = threads;
+        opt.shard_size = shard;
+        opt.top_k = top_k;
+        seq::Database db = base_db;
+        const auto got =
+            search::DatabaseSearch(m, cfg, opt).search_many(queries, db);
+        ASSERT_EQ(got.size(), oracle.size());
+        for (std::size_t qi = 0; qi < got.size(); ++qi) {
+          EXPECT_EQ(got[qi].scores, oracle[qi].scores)
+              << "threads=" << threads << " shard=" << shard
+              << " top_k=" << top_k << " query=" << qi;
+          ASSERT_EQ(got[qi].top.size(), std::min(top_k, base_db.size()));
+          for (std::size_t k = 0; k < got[qi].top.size(); ++k) {
+            EXPECT_EQ(got[qi].top[k].index, oracle[qi].top[k].index);
+            EXPECT_EQ(got[qi].top[k].score, oracle[qi].top[k].score);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchScheduler, StatsAreCoherent) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  search::SearchOptions opt;
+  opt.threads = 4;
+  opt.shard_size = 8;
+  search::BatchScheduler sched(m, cfg, opt);
+
+  const auto queries = make_queries(83);
+  seq::Database db = make_db(84, 50);
+  const auto results = sched.run(queries, db);
+  const search::BatchStats& st = sched.last_stats();
+
+  EXPECT_EQ(st.queries, queries.size());
+  EXPECT_EQ(st.subjects, db.size());
+  EXPECT_EQ(st.shard_size, 8u);
+  EXPECT_EQ(st.threads, 4);
+  // 4 distinct queries + 1 repeat: tiles are generated per distinct
+  // query (the repeat is deduped), ceil(50 / 8) = 7 tiles each.
+  EXPECT_EQ(st.tiles, 4u * 7u);
+  EXPECT_EQ(st.dedup_queries, 1u);
+  // Cold cache with default capacity: one lookup per occurrence.
+  EXPECT_EQ(st.cache_misses, 4u);
+  EXPECT_EQ(st.cache_hits, 1u);
+  EXPECT_EQ(st.cache_evictions, 0u);
+  EXPECT_GT(st.wall_seconds, 0.0);
+  EXPECT_GT(st.busy_seconds, 0.0);
+  EXPECT_GT(st.occupancy, 0.0);
+  EXPECT_LE(st.occupancy, 1.0 + 1e-9);
+  // Computed cells = sum over DISTINCT queries of |q| * total_residues;
+  // the repeat's cells were never recomputed.
+  std::size_t cells = 0;
+  for (std::size_t qi = 0; qi + 1 < queries.size(); ++qi) {
+    cells += queries[qi].size() * db.total_residues();
+  }
+  EXPECT_EQ(st.cells, cells);
+  // Every result's seconds is the batch wall clock.
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.seconds, st.wall_seconds);
+  }
+}
+
+// The cache resolves one lookup per query occurrence, in query order, so
+// counters follow the textbook LRU trace exactly.
+TEST(BatchScheduler, ProfileCacheEvictsLeastRecentlyUsed) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  seq::SequenceGenerator gen(85);
+  const auto A = score::Alphabet::protein().encode(gen.protein(50).residues);
+  const auto B = score::Alphabet::protein().encode(gen.protein(60).residues);
+  const auto C = score::Alphabet::protein().encode(gen.protein(70).residues);
+
+  search::SearchOptions opt;
+  opt.threads = 2;
+  opt.profile_cache_capacity = 2;
+  search::BatchScheduler sched(m, cfg, opt);
+  seq::Database db = make_db(86, 12);
+
+  // A, B: two cold misses fill the cache.
+  sched.run({A, B}, db);
+  EXPECT_EQ(sched.cache().misses(), 2u);
+  EXPECT_EQ(sched.cache().hits(), 0u);
+  EXPECT_EQ(sched.cache().evictions(), 0u);
+  EXPECT_EQ(sched.cache().size(), 2u);
+
+  // C, A: C evicts A (LRU), then A misses again and evicts B.
+  sched.run({C, A}, db);
+  EXPECT_EQ(sched.cache().misses(), 4u);
+  EXPECT_EQ(sched.cache().hits(), 0u);
+  EXPECT_EQ(sched.cache().evictions(), 2u);
+  EXPECT_EQ(sched.cache().size(), 2u);
+
+  // A, C: both resident now -> two hits, nothing evicted.
+  sched.run({A, C}, db);
+  EXPECT_EQ(sched.cache().misses(), 4u);
+  EXPECT_EQ(sched.cache().hits(), 2u);
+  EXPECT_EQ(sched.cache().evictions(), 2u);
+}
+
+// Same residues, different config -> different cache entries.
+TEST(BatchScheduler, CacheKeyIncludesConfig) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  seq::SequenceGenerator gen(87);
+  const auto q = score::Alphabet::protein().encode(gen.protein(40).residues);
+
+  search::QueryProfileCache cache(8);
+  AlignConfig local;
+  local.kind = AlignKind::Local;
+  local.pen = Penalties::symmetric(10, 2);
+  AlignConfig global = local;
+  global.kind = AlignKind::Global;
+
+  core::QueryOptions qopt;
+  const auto c1 = cache.get_or_build(m, local, qopt, q);
+  const auto c2 = cache.get_or_build(m, global, qopt, q);
+  const auto c3 = cache.get_or_build(m, local, qopt, q);
+  EXPECT_NE(c1.get(), c2.get());
+  EXPECT_EQ(c1.get(), c3.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+// Hits must report ORIGINAL insertion indices even though the scheduler
+// length-sorts the database internally.
+TEST(BatchScheduler, HitsCarryOriginalIndices) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  seq::SequenceGenerator gen(88);
+  const seq::Sequence qseq = gen.protein(120, "Q");
+  const auto query = score::Alphabet::protein().encode(qseq.residues);
+
+  // Short planted homolog inside longer decoys: length-sorting moves it,
+  // original index must survive.
+  seq::Database db = make_db(89, 40, 300.0);
+  const std::size_t planted = db.size();
+  db.add(seq::encode(
+      score::Alphabet::protein(),
+      seq::make_similar_subject(gen, qseq, {seq::Level::Hi, seq::Level::Hi})));
+
+  search::SearchOptions opt;
+  opt.threads = 3;
+  opt.top_k = 1;
+  const auto results =
+      search::DatabaseSearch(m, cfg, opt).search_many({query}, db);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].top.size(), 1u);
+  EXPECT_EQ(results[0].top[0].index, planted);
+  EXPECT_TRUE(db.permuted());
+  // scores[] is original-indexed too: verify against the oracle.
+  EXPECT_EQ(results[0].scores[planted],
+            core::align_sequential(m, cfg, query, db.by_original(planted).view()));
+}
+
+TEST(BatchScheduler, EmptyBatchAndEmptyDatabase) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  search::SearchOptions opt;
+  opt.threads = 2;
+  search::DatabaseSearch engine(m, cfg, opt);
+
+  // No queries: no results, no crash.
+  seq::Database db = make_db(90, 5);
+  EXPECT_TRUE(engine.search_many({}, db).empty());
+
+  // Empty database: per-query result with zero scores and no hits.
+  seq::SequenceGenerator gen(91);
+  const auto q = score::Alphabet::protein().encode(gen.protein(30).residues);
+  seq::Database empty_db;
+  const auto res = engine.search_many({q}, empty_db);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_TRUE(res[0].scores.empty());
+  EXPECT_TRUE(res[0].top.empty());
+
+  // A zero-length query is rejected exactly like in the serial path.
+  EXPECT_THROW(engine.search_many({{}}, db), std::invalid_argument);
+}
+
+TEST(BatchScheduler, UnsortedDatabaseStaysUnsorted) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  AlignConfig cfg;
+  cfg.pen = Penalties::symmetric(10, 2);
+
+  search::SearchOptions opt;
+  opt.threads = 2;
+  opt.sort_database = false;
+  seq::Database db = make_db(92, 20);
+  const auto queries = make_queries(93);
+
+  search::SearchOptions serial = opt;
+  serial.batch_queries = false;
+  seq::Database db2 = db;
+  const auto oracle =
+      search::DatabaseSearch(m, cfg, serial).search_many(queries, db2);
+  const auto got =
+      search::DatabaseSearch(m, cfg, opt).search_many(queries, db);
+  EXPECT_FALSE(db.permuted());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(got[qi].scores, oracle[qi].scores) << "query " << qi;
+  }
+}
+
+}  // namespace

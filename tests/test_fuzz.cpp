@@ -1,18 +1,38 @@
 // Randomized cross-checks ("fuzz"): random Farrar-safe configurations,
 // degenerate inputs (homopolymers, wildcards, stop codons), DNA alphabet,
-// and shape extremes - every kernel answer is checked against the oracle.
+// shape extremes, and a differential search harness that cross-checks the
+// intra-sequence engine (every ISA x start width), the inter-sequence
+// engine (every backend x precision-ladder start tier), and the scalar
+// oracle against each other on seeded random databases.
+//
+// AALIGN_FUZZ_ROUNDS scales the differential harness round count (default
+// 3); sanitizer CI jobs raise it.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "core/aligner.h"
+#include "core/engine.h"
+#include "core/inter_engine.h"
 #include "core/sequential.h"
 #include "score/matrices.h"
+#include "search/database_search.h"
+#include "search/inter_search.h"
+#include "seq/generator.h"
 #include "test_helpers.h"
 
 using namespace aalign;
 
 namespace {
+
+int fuzz_rounds(int fallback) {
+  if (const char* env = std::getenv("AALIGN_FUZZ_ROUNDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
 
 TEST(Fuzz, RandomConfigurationsMatchOracle) {
   std::mt19937_64 rng(0xF055);
@@ -138,6 +158,152 @@ TEST(Fuzz, ExtremeShapeRatios) {
           << to_string(kind) << " " << mm << "x" << nn;
     }
   }
+}
+
+// Differential search harness: one seeded database per round, containing
+// every stride-boundary length (segment counts flip at multiples of the
+// lane width), the empty and single-residue subjects, random-length
+// subjects, and a high-identity homolog that forces narrow-precision
+// saturation. Every engine variant must reproduce the scalar oracle
+// score-for-score.
+TEST(Fuzz, DifferentialSearchHarness) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto isas = test::available_isas();
+  const int rounds = fuzz_rounds(3);
+
+  for (int round = 0; round < rounds; ++round) {
+    std::mt19937_64 rng(0xD1FFu + static_cast<std::uint64_t>(round) * 7919);
+    AlignConfig cfg;
+    cfg.kind = AlignKind::Local;  // the inter engine is local-only
+    const auto pens = test::test_penalties();
+    cfg.pen = pens[static_cast<std::size_t>(round) % pens.size()];
+
+    std::uniform_int_distribution<int> qlen_d(40, 260), slen_d(2, 300);
+    const auto query =
+        test::random_protein(rng, static_cast<std::size_t>(qlen_d(rng)));
+
+    seq::Database db;
+    int n = 0;
+    auto add = [&](std::vector<std::uint8_t> s) {
+      db.add(seq::EncodedSequence{"s" + std::to_string(n++), std::move(s)});
+    };
+    // Stride boundaries: one below, at, and above each power-of-two lane
+    // granularity up to 128.
+    for (std::size_t len : {15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129}) {
+      add(test::random_protein(rng, len));
+    }
+    add({});                            // empty subject
+    add(test::random_protein(rng, 1));  // single residue
+    for (int i = 0; i < 4; ++i) {
+      add(test::random_protein(rng, static_cast<std::size_t>(slen_d(rng))));
+    }
+    add(test::mutate(rng, query, 0.1, 0.02));  // saturates int8 lanes
+
+    std::vector<long> oracle(db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      oracle[i] = core::align_sequential(m, cfg, query, db[i].view());
+    }
+
+    // Intra-sequence engine: every ISA x adaptive start width (skipping
+    // widths the backend does not implement).
+    for (simd::IsaKind isa : isas) {
+      for (ScoreWidth width :
+           {ScoreWidth::Auto, ScoreWidth::W16, ScoreWidth::W32}) {
+        if (width == ScoreWidth::W16 &&
+            core::get_engine<std::int16_t>(isa) == nullptr) {
+          continue;
+        }
+        if (width == ScoreWidth::W32 &&
+            core::get_engine<std::int32_t>(isa) == nullptr) {
+          continue;
+        }
+        search::SearchOptions opt;
+        opt.threads = 1 + round % 3;
+        opt.query.isa = isa;
+        opt.query.width = width;
+        opt.query.strategy =
+            static_cast<Strategy>(1 + (round + static_cast<int>(width)) % 3);
+        seq::Database dbc = db;
+        const auto res = search::DatabaseSearch(m, cfg, opt).search(query, dbc);
+        ASSERT_EQ(res.scores.size(), oracle.size());
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ(res.scores[i], oracle[i])
+              << "round " << round << " intra isa=" << simd::isa_name(isa)
+              << " width=" << static_cast<int>(width) << " subject " << i
+              << " len " << db[i].size();
+        }
+      }
+    }
+
+    // Inter-sequence engine: every backend x precision-ladder start tier.
+    for (simd::IsaKind isa : isas) {
+      if (core::get_inter_engine(isa) == nullptr) continue;
+      for (ScoreWidth start :
+           {ScoreWidth::Auto, ScoreWidth::W16, ScoreWidth::W32}) {
+        search::SearchOptions opt;
+        opt.threads = 1 + round % 3;
+        search::InterSequenceSearch inter(m, cfg.pen, opt, isa, start);
+        seq::Database dbc = db;
+        const auto res = inter.search(query, dbc);
+        ASSERT_EQ(res.scores.size(), oracle.size());
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ(res.scores[i], oracle[i])
+              << "round " << round << " inter isa=" << simd::isa_name(isa)
+              << " start=" << static_cast<int>(start) << " subject " << i
+              << " len " << db[i].size();
+        }
+      }
+    }
+
+    // Batched many-query scheduler vs the same oracle (two queries: the
+    // round's query twice, exercising the profile-cache hit path).
+    {
+      search::SearchOptions opt;
+      opt.threads = 2;
+      seq::Database dbc = db;
+      const auto many = search::DatabaseSearch(m, cfg, opt)
+                            .search_many({query, query}, dbc);
+      ASSERT_EQ(many.size(), 2u);
+      for (const auto& r : many) {
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ(r.scores[i], oracle[i]) << "round " << round
+                                            << " batched subject " << i;
+        }
+      }
+    }
+  }
+}
+
+// The oracle itself on degenerate shapes: the DP recurrence collapses to
+// its boundary conditions when either input is empty.
+TEST(Fuzz, EmptySequenceOracle) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(99);
+  const auto s = test::random_protein(rng, 25);
+
+  for (AlignKind kind :
+       {AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal,
+        AlignKind::SemiGlobalQuery, AlignKind::Overlap}) {
+    AlignConfig cfg;
+    cfg.kind = kind;
+    cfg.pen = Penalties::symmetric(10, 2);
+    // Two empties: nothing to align, score 0 under every mode.
+    EXPECT_EQ(core::align_sequential(m, cfg, {}, {}), 0) << to_string(kind);
+  }
+
+  // Local: an empty side means the best local alignment is empty -> 0.
+  AlignConfig local;
+  local.kind = AlignKind::Local;
+  local.pen = Penalties::symmetric(10, 2);
+  EXPECT_EQ(core::align_sequential(m, local, {}, s), 0);
+  EXPECT_EQ(core::align_sequential(m, local, s, {}), 0);
+
+  // Global: an empty query leaves one all-gap run across the subject.
+  AlignConfig global;
+  global.kind = AlignKind::Global;
+  global.pen = Penalties::symmetric(10, 2);
+  const long all_gap = core::align_sequential(m, global, {}, s);
+  EXPECT_EQ(all_gap, -(10 + 2 * static_cast<long>(s.size())));
 }
 
 TEST(Fuzz, LongSimilarPairAllBackends) {

@@ -63,7 +63,7 @@ TEST_P(InterPrecisionTest, TieredMatchesInt32OnRandomBatches) {
   EXPECT_EQ(r_tiered.scores, r_exact.scores);
   for (std::size_t i = 0; i < db.size(); ++i) {
     EXPECT_EQ(r_tiered.scores[i],
-              core::align_sequential(m, cfg, query, db1[i].view()))
+              core::align_sequential(m, cfg, query, db1.by_original(i).view()))
         << "subject " << i;
   }
   // The exact-baseline run must never touch the narrow tiers.
@@ -106,7 +106,8 @@ TEST_P(InterPrecisionTest, Int8OverflowRequeuesToWiderTiers) {
   ASSERT_EQ(res.scores.size(), db.size());
   long best = 0;
   for (std::size_t i = 0; i < db.size(); ++i) {
-    const long oracle = core::align_sequential(m, cfg, query, db[i].view());
+    const long oracle =
+        core::align_sequential(m, cfg, query, db.by_original(i).view());
     EXPECT_EQ(res.scores[i], oracle) << "subject " << i;
     best = std::max(best, oracle);
   }
@@ -156,7 +157,7 @@ TEST_P(InterPrecisionTest, Int16OverflowFallsThroughToInt32) {
   ASSERT_EQ(res.scores.size(), 2u);
   for (std::size_t i = 0; i < db.size(); ++i) {
     EXPECT_EQ(res.scores[i],
-              core::align_sequential(m, cfg, query, db[i].view()))
+              core::align_sequential(m, cfg, query, db.by_original(i).view()))
         << "subject " << i;
   }
   EXPECT_GT(res.top[0].score, core::inter_score_ceiling(kI16));

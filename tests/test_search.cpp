@@ -77,9 +77,11 @@ TEST(DatabaseSearch, MatchesSerialOracle) {
   const search::SearchResult res = search.search(query, db);
 
   ASSERT_EQ(res.scores.size(), db.size());
+  // scores are indexed by ORIGINAL database position even though the
+  // search length-sorted db in place.
   for (std::size_t i = 0; i < db.size(); ++i) {
     EXPECT_EQ(res.scores[i],
-              core::align_sequential(m, cfg, query, db[i].view()))
+              core::align_sequential(m, cfg, query, db.by_original(i).view()))
         << "subject " << i;
   }
 
@@ -206,9 +208,10 @@ TEST(Baselines, Swps3AndSwaphiMatchOracleScores) {
   baselines::SwaphiLike swaphi(m, cfg.pen, {}, 2);
   seq::Database db2 = db;
   const auto r2 = swaphi.search(query, db2);
+  // SwaphiLike wraps DatabaseSearch: scores come back original-indexed.
   for (std::size_t i = 0; i < db2.size(); ++i) {
     EXPECT_EQ(r2.scores[i],
-              core::align_sequential(m, cfg, query, db2[i].view()));
+              core::align_sequential(m, cfg, query, db2.by_original(i).view()));
   }
 }
 

@@ -199,16 +199,23 @@ TEST(Sequential, OptimizedBaselineAgrees) {
   }
 }
 
-TEST(Sequential, EmptyInputThrows) {
+TEST(Sequential, EmptyInputDegenerates) {
+  // Empty sequences are valid: the DP collapses to its boundary
+  // conditions (needed so the search layer can score zero-length
+  // database records instead of crashing).
   const auto q = enc("A");
   const std::vector<std::uint8_t> empty;
   const auto& m = score::ScoreMatrix::blosum62();
-  EXPECT_THROW(
-      core::align_sequential(m, cfg_of(AlignKind::Local, 10, 2), empty, q),
-      std::invalid_argument);
-  EXPECT_THROW(
-      core::align_sequential(m, cfg_of(AlignKind::Local, 10, 2), q, empty),
-      std::invalid_argument);
+  EXPECT_EQ(core::align_sequential(m, cfg_of(AlignKind::Local, 10, 2), empty, q),
+            0);
+  EXPECT_EQ(core::align_sequential(m, cfg_of(AlignKind::Local, 10, 2), q, empty),
+            0);
+  // Global: the lone residue is aligned against a single opened gap.
+  EXPECT_EQ(core::align_sequential(m, cfg_of(AlignKind::Global, 10, 2), q, empty),
+            -12);
+  EXPECT_EQ(
+      core::align_sequential(m, cfg_of(AlignKind::Global, 10, 2), empty, empty),
+      0);
 }
 
 TEST(Sequential, InvalidConfigThrows) {

@@ -18,6 +18,9 @@
 //   --width N        8|16|32|auto                        [auto]
 //   --threads N      worker threads                      [hardware]
 //   --top K          hits to report                      [10]
+//   --batch          run EVERY query record in -q as one batched
+//                    search_many (tile scheduler + profile LRU)
+//   --shard-size N   subjects per scheduler tile         [auto]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -80,7 +83,56 @@ void print_help() {
       "  --isa scalar|sse41|avx2|avx512               [best available]\n"
       "  --width 8|16|32|auto                         [auto]\n"
       "  --threads N / --top K                        [hardware / 10]\n"
-      "  --format table|tsv                           [table]\n");
+      "  --format table|tsv                           [table]\n"
+      "  --batch  (all -q records as one scheduled batch)\n"
+      "  --shard-size N  subjects per tile            [auto]\n");
+}
+
+// Prints one query's hit table/TSV rows. `db` may have been re-sorted by
+// the search: hits carry ORIGINAL indices, resolved via db.by_original.
+void print_result(const seq::Sequence& query,
+                  const std::vector<std::uint8_t>& qenc,
+                  const seq::Database& db, const search::SearchResult& res,
+                  const score::ScoreMatrix& matrix,
+                  const std::optional<score::KarlinParams>& ka,
+                  const std::string& format) {
+  if (format == "tsv") {
+    int rank = 1;
+    for (const search::SearchHit& hit : res.top) {
+      const auto& subj = db.by_original(hit.index);
+      if (ka) {
+        std::printf("%s\t%d\t%s\t%ld\t%zu\t%.1f\t%.3g\n", query.id.c_str(),
+                    rank++, subj.id.c_str(), hit.score, subj.size(),
+                    score::bit_score(*ka, hit.score),
+                    score::e_value(*ka, hit.score, qenc.size(),
+                                   db.total_residues()));
+      } else {
+        std::printf("%s\t%d\t%s\t%ld\t%zu\t-\t-\n", query.id.c_str(),
+                    rank++, subj.id.c_str(), hit.score, subj.size());
+      }
+    }
+    return;
+  }
+  std::printf("%-5s %-28s %8s %8s %8s %10s %6s %6s\n", "rank", "subject",
+              "score", "length", "bits", "E-value", "QC%", "MI%");
+  int rank = 1;
+  for (const search::SearchHit& hit : res.top) {
+    const auto& subj = db.by_original(hit.index);
+    const core::SimilarityStats st =
+        core::measure_similarity(matrix, qenc, subj.view());
+    if (ka) {
+      std::printf("%-5d %-28.28s %8ld %8zu %8.1f %10.2g %5.0f%% %5.0f%%\n",
+                  rank++, subj.id.c_str(), hit.score, subj.size(),
+                  score::bit_score(*ka, hit.score),
+                  score::e_value(*ka, hit.score, qenc.size(),
+                                 db.total_residues()),
+                  st.query_coverage * 100, st.max_identity * 100);
+    } else {
+      std::printf("%-5d %-28.28s %8ld %8zu %8s %10s %5.0f%% %5.0f%%\n",
+                  rank++, subj.id.c_str(), hit.score, subj.size(), "-", "-",
+                  st.query_coverage * 100, st.max_identity * 100);
+    }
+  }
 }
 
 }  // namespace
@@ -90,8 +142,8 @@ int main(int argc, char** argv) {
   std::string kind_name = "local", strategy_name = "hybrid";
   std::string isa_name_opt, width_name = "auto", format = "table";
   int open = 10, ext = 2, threads = 0;
-  std::size_t top_k = 10;
-  bool demo = false;
+  std::size_t top_k = 10, shard_size = 0;
+  bool demo = false, batch = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -111,6 +163,8 @@ int main(int argc, char** argv) {
     else if (a == "--width") width_name = next();
     else if (a == "--threads") threads = std::atoi(next().c_str());
     else if (a == "--top") top_k = static_cast<std::size_t>(std::atol(next().c_str()));
+    else if (a == "--batch") batch = true;
+    else if (a == "--shard-size") shard_size = static_cast<std::size_t>(std::atol(next().c_str()));
     else if (a == "--format") format = next();
     else if (a == "-h" || a == "--help") { print_help(); return 0; }
     else die("unknown option '" + a + "'");
@@ -119,14 +173,23 @@ int main(int argc, char** argv) {
   const score::ScoreMatrix& matrix = matrix_by_name(matrix_name);
   const auto& alphabet = matrix.alphabet();
 
-  seq::Sequence query;
+  std::vector<seq::Sequence> query_records;
   std::vector<seq::Sequence> raw;
   if (demo) {
     seq::SequenceGenerator gen(12345);
-    query = gen.protein(350, "demo_query");
+    query_records.push_back(gen.protein(350, "demo_query"));
+    if (batch) {
+      // A small serving-style batch: distinct queries plus one repeat so
+      // the profile cache has something to hit.
+      for (std::size_t len : {180, 240, 300}) {
+        query_records.push_back(
+            gen.protein(len, "demo_query_" + std::to_string(len)));
+      }
+      query_records.push_back(query_records.front());
+    }
     raw = gen.protein_database(10000);
     for (auto lvl : {seq::Level::Hi, seq::Level::Md}) {
-      raw.push_back(seq::make_similar_subject(gen, query,
+      raw.push_back(seq::make_similar_subject(gen, query_records.front(),
                                               {seq::Level::Hi, lvl}));
     }
   } else {
@@ -134,9 +197,9 @@ int main(int argc, char** argv) {
       print_help();
       return 2;
     }
-    const auto queries = seq::read_fasta_file(query_path);
-    if (queries.empty()) die("no records in " + query_path);
-    query = queries.front();
+    query_records = seq::read_fasta_file(query_path);
+    if (query_records.empty()) die("no records in " + query_path);
+    if (!batch) query_records.resize(1);  // first record only
     raw = seq::read_fasta_file(db_path);
     if (raw.empty()) die("no records in " + db_path);
   }
@@ -158,83 +221,66 @@ int main(int argc, char** argv) {
   else die("unknown width '" + width_name + "'");
 
   seq::Database db(alphabet, raw);
-  const auto qenc = alphabet.encode(query.residues);
+  opt.shard_size = shard_size;
+  std::vector<std::vector<std::uint8_t>> qenc;
+  qenc.reserve(query_records.size());
+  for (const auto& q : query_records) qenc.push_back(alphabet.encode(q.residues));
 
-  search::DatabaseSearch engine(matrix, cfg, opt);
-  search::SearchResult res;
-  try {
-    res = engine.search(qenc, db);
-  } catch (const std::exception& e) {
-    die(e.what());
-  }
-
-  if (format == "tsv") {
-    // Machine-readable: one row per hit, no similarity re-measurement.
-    std::optional<score::KarlinParams> ka;
-    if (&alphabet == &score::Alphabet::protein()) {
-      ka = score::default_protein_params(matrix);
-    }
-    std::printf("rank\tsubject\tscore\tlength\tbits\tevalue\n");
-    int rank = 1;
-    for (const search::SearchHit& hit : res.top) {
-      const auto& subj = db[hit.index];
-      if (ka) {
-        std::printf("%d\t%s\t%ld\t%zu\t%.1f\t%.3g\n", rank++,
-                    subj.id.c_str(), hit.score, subj.size(),
-                    score::bit_score(*ka, hit.score),
-                    score::e_value(*ka, hit.score, qenc.size(),
-                                   db.total_residues()));
-      } else {
-        std::printf("%d\t%s\t%ld\t%zu\t-\t-\n", rank++, subj.id.c_str(),
-                    hit.score, subj.size());
-      }
-    }
-    return 0;
-  }
-  if (format != "table") die("unknown format '" + format + "'");
-
-  std::printf("# aalign_search  query='%s' (%zu aa)  db=%zu seqs / %zu "
-              "residues\n",
-              query.id.c_str(), query.size(), db.size(),
-              db.total_residues());
-  std::printf("# matrix=%s kind=%s gaps=%d/%d strategy=%s isa=%s\n",
-              matrix.name().c_str(), kind_name.c_str(), open, ext,
-              strategy_name.c_str(), simd::isa_name(opt.query.isa));
-  std::printf("# time=%.3fs throughput=%.2f GCUPS promotions=%llu "
-              "hybrid_switches=%llu\n",
-              res.seconds, res.gcups,
-              static_cast<unsigned long long>(res.promotions),
-              static_cast<unsigned long long>(res.stats.switches));
   // Karlin-Altschul statistics: exact ungapped lambda for this matrix;
   // K is the classic ungapped BLOSUM62 value (stats are approximate for
   // gapped searches - see score/evalue.h).
   std::optional<score::KarlinParams> ka;
   if (&alphabet == &score::Alphabet::protein()) {
     ka = score::default_protein_params(matrix);
+  }
+  if (format != "table" && format != "tsv") {
+    die("unknown format '" + format + "'");
+  }
+
+  search::DatabaseSearch engine(matrix, cfg, opt);
+  std::vector<search::SearchResult> results;
+  try {
+    if (batch) {
+      results = engine.search_many(qenc, db);
+    } else {
+      results.push_back(engine.search(qenc.front(), db));
+    }
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+
+  if (format == "tsv") {
+    // Machine-readable: one row per hit, no similarity re-measurement.
+    std::printf("query\trank\tsubject\tscore\tlength\tbits\tevalue\n");
+    for (std::size_t qi = 0; qi < results.size(); ++qi) {
+      print_result(query_records[qi], qenc[qi], db, results[qi], matrix, ka,
+                   format);
+    }
+    return 0;
+  }
+
+  std::printf("# aalign_search  %zu quer%s  db=%zu seqs / %zu residues\n",
+              results.size(), results.size() == 1 ? "y" : "ies", db.size(),
+              db.total_residues());
+  std::printf("# matrix=%s kind=%s gaps=%d/%d strategy=%s isa=%s%s\n",
+              matrix.name().c_str(), kind_name.c_str(), open, ext,
+              strategy_name.c_str(), simd::isa_name(opt.query.isa),
+              batch ? " mode=batch" : "");
+  if (ka) {
     std::printf("# statistics: ungapped lambda=%.4f K=%.3f H=%.3f "
                 "(approximate for gapped scores)\n",
                 ka->lambda, ka->K, ka->H);
   }
-
-  std::printf("%-5s %-28s %8s %8s %8s %10s %6s %6s\n", "rank", "subject",
-              "score", "length", "bits", "E-value", "QC%", "MI%");
-  int rank = 1;
-  for (const search::SearchHit& hit : res.top) {
-    const auto& subj = db[hit.index];
-    const core::SimilarityStats st =
-        core::measure_similarity(matrix, qenc, subj.view());
-    if (ka) {
-      std::printf("%-5d %-28.28s %8ld %8zu %8.1f %10.2g %5.0f%% %5.0f%%\n",
-                  rank++, subj.id.c_str(), hit.score, subj.size(),
-                  score::bit_score(*ka, hit.score),
-                  score::e_value(*ka, hit.score, qenc.size(),
-                                 db.total_residues()),
-                  st.query_coverage * 100, st.max_identity * 100);
-    } else {
-      std::printf("%-5d %-28.28s %8ld %8zu %8s %10s %5.0f%% %5.0f%%\n",
-                  rank++, subj.id.c_str(), hit.score, subj.size(), "-", "-",
-                  st.query_coverage * 100, st.max_identity * 100);
-    }
+  for (std::size_t qi = 0; qi < results.size(); ++qi) {
+    const search::SearchResult& res = results[qi];
+    std::printf("\n## query='%s' (%zu aa)\n", query_records[qi].id.c_str(),
+                query_records[qi].size());
+    std::printf("# time=%.3fs%s throughput=%.2f GCUPS promotions=%llu "
+                "hybrid_switches=%llu\n",
+                res.seconds, batch ? " (batch wall)" : "", res.gcups,
+                static_cast<unsigned long long>(res.promotions),
+                static_cast<unsigned long long>(res.stats.switches));
+    print_result(query_records[qi], qenc[qi], db, res, matrix, ka, format);
   }
   return 0;
 }
