@@ -34,6 +34,12 @@ int main() {
               "db: %zu seqs / %zu residues\n\n",
               db.size(), db.total_residues());
 
+  BenchReport report("ablate_inter_vs_intra");
+  report.set_workload("db_sequences", db.size());
+  report.set_workload("db_residues", db.total_residues());
+  report.set_threads(4);
+  double last_ratio = 0.0;
+
   for (const Platform& plat : platforms()) {
     std::printf("--- %s ---\n", plat.label);
     std::printf("%-7s %12s %12s %12s %12s\n", "query", "intra(s)",
@@ -56,6 +62,16 @@ int main() {
       std::printf("Q%-6zu %12.3f %12.3f %12.2f %12.2f\n", qlen,
                   r_intra.seconds, r_inter.seconds, r_intra.gcups,
                   r_inter.gcups);
+
+      obs::Json row = obs::Json::object();
+      row.set("platform", plat.label);
+      row.set("query_len", qlen);
+      row.set("intra_seconds", r_intra.seconds);
+      row.set("inter_seconds", r_inter.seconds);
+      row.set("intra_gcups", r_intra.gcups);
+      row.set("inter_gcups", r_inter.gcups);
+      report.add_row("queries", std::move(row));
+      if (r_intra.gcups > 0) last_ratio = r_inter.gcups / r_intra.gcups;
     }
     std::printf("\n");
   }
@@ -63,5 +79,6 @@ int main() {
       "reading: inter-sequence has input-independent cost (no corrections) "
       "but pays a gather per cell; intra-sequence amortizes profile loads "
       "but pays correction work that grows with similarity.\n");
-  return 0;
+  report.set_headline("inter_vs_intra_gcups", last_ratio);
+  return report.write("BENCH_ablate_inter_vs_intra.json") ? 0 : 1;
 }

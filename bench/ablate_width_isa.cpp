@@ -33,6 +33,11 @@ int main() {
   const double cells =
       static_cast<double>(query.size()) * static_cast<double>(subject.size());
 
+  BenchReport report("ablate_width_isa");
+  report.set_workload("query_len", query.size());
+  report.set_workload("subject_len", subject.size());
+  double best_gcups = 0.0;
+
   // Layout baselines: plain sequential and the auto-vectorizable
   // anti-diagonal (wavefront) formulation - what you get WITHOUT the
   // striped layout and manual vector modules.
@@ -47,6 +52,17 @@ int main() {
                 t_seq * 1e3, cells / t_seq / 1e9);
     std::printf("  %-28s %12.3f ms %10.2f GCUPS\n",
                 "wavefront (auto-vec)", t_wf * 1e3, cells / t_wf / 1e9);
+
+    obs::Json row = obs::Json::object();
+    row.set("baseline", "sequential_opt");
+    row.set("seconds", t_seq);
+    row.set("gcups", cells / t_seq / 1e9);
+    report.add_row("baselines", std::move(row));
+    obs::Json row_wf = obs::Json::object();
+    row_wf.set("baseline", "wavefront");
+    row_wf.set("seconds", t_wf);
+    row_wf.set("gcups", cells / t_wf / 1e9);
+    report.add_row("baselines", std::move(row_wf));
   }
 
   std::printf("\nstriped kernels:\n");
@@ -93,11 +109,22 @@ int main() {
       std::printf("%-8s %-6s %6d %12.3f %12.3f %10.2f\n", simd::isa_name(isa),
                   to_string(width), lanes, t_it * 1e3, t_sc * 1e3,
                   cells / t_it / 1e9);
+
+      obs::Json row = obs::Json::object();
+      row.set("isa", simd::isa_name(isa));
+      row.set("width", to_string(width));
+      row.set("lanes", lanes);
+      row.set("iterate_seconds", t_it);
+      row.set("scan_seconds", t_sc);
+      row.set("gcups", cells / t_it / 1e9);
+      report.add_row("kernels", std::move(row));
+      best_gcups = std::max(best_gcups, cells / t_it / 1e9);
     }
   }
   std::printf(
       "\nexpected shape: throughput grows with lane count (narrower type "
       "and/or wider ISA); the hardware backends beat the emulated-scalar "
       "backend at equal algorithm and layout.\n");
-  return 0;
+  report.set_headline("best_striped_gcups", best_gcups);
+  return report.write("BENCH_ablate_width_isa.json") ? 0 : 1;
 }

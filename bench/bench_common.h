@@ -9,15 +9,21 @@
 // what factor, where the crossovers are).
 //
 // AALIGN_BENCH_SCALE=<float> scales workload sizes (default 1.0).
+// AALIGN_BENCH_QUICK=1 is the CI perf-gate mode: workloads shrink to
+// scale 0.05 (unless AALIGN_BENCH_SCALE overrides) while timing stays
+// median-of-5, keeping the headline numbers comparable run-to-run.
+// AALIGN_BENCH_JSON=<path> redirects a binary's report file.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/aligner.h"
+#include "obs/export.h"
 #include "score/matrices.h"
 #include "seq/generator.h"
 #include "simd/isa.h"
@@ -25,9 +31,14 @@
 
 namespace aalign::bench {
 
+inline bool quick_mode() {
+  const char* s = std::getenv("AALIGN_BENCH_QUICK");
+  return s != nullptr && std::atoi(s) != 0;
+}
+
 inline double scale_factor() {
   const char* s = std::getenv("AALIGN_BENCH_SCALE");
-  if (s == nullptr) return 1.0;
+  if (s == nullptr) return quick_mode() ? 0.05 : 1.0;
   const double v = std::atof(s);
   return v > 0 ? v : 1.0;
 }
@@ -105,5 +116,79 @@ inline AlignConfig make_config(const ConfigCase& c) {
   cfg.pen = c.pen;
   return cfg;
 }
+
+// One schema-"aalign.run"-v2 report per bench binary: collect workload
+// scalars and series rows while the benchmark runs, then write() stamps
+// run metadata, the headline metric, and the full registry snapshot and
+// validates the document before it hits disk. tools/bench_compare.py (the
+// CI perf gate) consumes exactly this shape.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string tool) {
+    meta_.tool = std::move(tool);
+    workload_.set("scale", scale_factor());
+    workload_.set("quick", quick_mode());
+  }
+
+  void set_isa(simd::IsaKind isa) { meta_.isa = simd::isa_name(isa); }
+  void set_threads(int threads) { meta_.threads = threads; }
+
+  template <class T>
+  void set_workload(const std::string& key, T value) {
+    workload_.set(key, value);
+  }
+
+  // Headline: the single number the regression gate compares first.
+  void set_headline(std::string name, double value) {
+    headline_name_ = std::move(name);
+    headline_value_ = value;
+  }
+
+  void add_row(const std::string& series, obs::Json row) {
+    obs::Json* rows = series_.find(series);
+    if (rows == nullptr) {
+      series_.set(series, obs::Json::array());
+      rows = series_.find(series);
+    }
+    rows->push_back(std::move(row));
+  }
+
+  // Writes to AALIGN_BENCH_JSON when set, else `default_path`. Returns
+  // false (with a stderr note) on validation or I/O failure so benches
+  // can exit non-zero and CI notices.
+  bool write(const std::string& default_path) {
+    const char* env = std::getenv("AALIGN_BENCH_JSON");
+    const std::string path = env != nullptr && *env != '\0' ? env
+                                                            : default_path;
+    const obs::Snapshot snap = obs::registry().snapshot();
+    obs::Json doc = obs::make_run_document(meta_, std::move(workload_),
+                                           std::move(series_), &snap);
+    if (!headline_name_.empty()) {
+      obs::Json headline = obs::Json::object();
+      headline.set("name", headline_name_);
+      headline.set("value", headline_value_);
+      doc.set("headline", std::move(headline));
+    }
+    const std::string err = obs::validate_run_document(doc);
+    if (!err.empty()) {
+      std::fprintf(stderr, "BenchReport: invalid document: %s\n",
+                   err.c_str());
+      return false;
+    }
+    if (!obs::write_json_file(path, doc)) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("# wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  obs::RunMeta meta_;
+  obs::Json workload_ = obs::Json::object();
+  obs::Json series_ = obs::Json::object();
+  std::string headline_name_;
+  double headline_value_ = 0.0;
+};
 
 }  // namespace aalign::bench

@@ -2,11 +2,12 @@
 // int16 / int32 lanes) and overflow/re-queue rates on a Swiss-Prot-like
 // database, for the best ISA this machine offers.
 //
-// Beyond the human-readable table, the run is dumped to
-// BENCH_inter_precision.json (override the path with AALIGN_BENCH_JSON)
-// so the perf trajectory accumulates machine-readable points; the
-// headline field is speedup_int8_vs_int32, the int8 tier's throughput
-// against the exact int32 kernel on the same workload.
+// Beyond the human-readable table, the run is dumped as a schema
+// "aalign.run" v2 document to BENCH_inter_precision.json (override the
+// path with AALIGN_BENCH_JSON) so the perf trajectory accumulates
+// machine-readable points the CI gate can diff; the headline is
+// speedup_int8_vs_int32, the int8 tier's throughput against the exact
+// int32 kernel on the same workload.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -42,32 +43,31 @@ void print_run(const Run& r) {
   }
 }
 
-void append_json(std::string& out, const Run& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "    {\"query_len\": %zu, \"mode\": \"%s\", "
-                "\"seconds\": %.6f, \"gcups\": %.3f, \"tiers\": [",
-                r.query_len, r.mode, r.res.seconds, r.res.gcups);
-  out += buf;
-  bool first = true;
+obs::Json run_row(const Run& r) {
+  obs::Json row = obs::Json::object();
+  row.set("query_len", r.query_len);
+  row.set("mode", r.mode);
+  row.set("seconds", r.res.seconds);
+  row.set("gcups", r.res.gcups);
+  obs::Json tiers = obs::Json::array();
   for (int ti = 0; ti < core::kInterPrecisionCount; ++ti) {
     const search::InterTierStats& t = r.res.tiers[ti];
     if (t.subjects == 0) continue;
     const auto p = static_cast<core::InterPrecision>(ti);
-    std::snprintf(buf, sizeof(buf),
-                  "%s\n      {\"precision\": \"%s\", \"lanes\": %d, "
-                  "\"subjects\": %zu, \"overflowed\": %zu, "
-                  "\"requeue_rate\": %.4f, \"cells\": %zu, "
-                  "\"seconds\": %.6f, \"gcups\": %.3f}",
-                  first ? "" : ",", core::to_string(p), t.lanes, t.subjects,
-                  t.overflowed,
-                  static_cast<double>(t.overflowed) /
-                      static_cast<double>(t.subjects),
-                  t.cells, t.seconds, t.gcups);
-    out += buf;
-    first = false;
+    obs::Json tier = obs::Json::object();
+    tier.set("precision", core::to_string(p));
+    tier.set("lanes", t.lanes);
+    tier.set("subjects", t.subjects);
+    tier.set("overflowed", t.overflowed);
+    tier.set("requeue_rate", static_cast<double>(t.overflowed) /
+                                 static_cast<double>(t.subjects));
+    tier.set("cells", t.cells);
+    tier.set("seconds", t.seconds);
+    tier.set("gcups", t.gcups);
+    tiers.push_back(std::move(tier));
   }
-  out += "]}";
+  row.set("tiers", std::move(tiers));
+  return row;
 }
 
 }  // namespace
@@ -123,31 +123,11 @@ int main() {
   const double speedup = i32 > 0 ? i8 / i32 : 0.0;
   std::printf("int8 tier vs int32 kernel: %.2fx GCUPS\n", speedup);
 
-  std::string json = "{\n";
-  json += "  \"bench\": \"inter_precision\",\n";
-  json += "  \"isa\": \"" + std::string(simd::isa_name(isa)) + "\",\n";
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "  \"db_sequences\": %zu,\n  \"db_residues\": %zu,\n"
-                "  \"speedup_int8_vs_int32\": %.3f,\n  \"runs\": [\n",
-                db.size(), db.total_residues(), speedup);
-  json += buf;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    append_json(json, runs[i]);
-    if (i + 1 < runs.size()) json += ",";
-    json += "\n";
-  }
-  json += "  ]\n}\n";
-
-  const char* path = std::getenv("AALIGN_BENCH_JSON");
-  const std::string file = path != nullptr ? path : "BENCH_inter_precision.json";
-  if (FILE* f = std::fopen(file.c_str(), "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote %s\n", file.c_str());
-  } else {
-    std::fprintf(stderr, "could not write %s\n", file.c_str());
-    return 1;
-  }
-  return 0;
+  BenchReport report("bench_inter_precision");
+  report.set_isa(isa);
+  report.set_workload("db_sequences", db.size());
+  report.set_workload("db_residues", db.total_residues());
+  report.set_headline("speedup_int8_vs_int32", speedup);
+  for (const Run& r : runs) report.add_row("runs", run_row(r));
+  return report.write("BENCH_inter_precision.json") ? 0 : 1;
 }

@@ -6,7 +6,8 @@
 // repeats, as real query streams have) x a 2k-subject peptide database.
 //
 // Prints per-thread-count wall clocks, speedup, and worker occupancy;
-// dumps BENCH_many_query.json (override the path with AALIGN_BENCH_JSON).
+// dumps a schema "aalign.run" v2 document to BENCH_many_query.json
+// (override the path with AALIGN_BENCH_JSON).
 // Headline: speedup_batched_vs_serial at the widest thread count.
 #include <cstdio>
 #include <string>
@@ -130,44 +131,27 @@ int main() {
               widest.threads, widest.speedup, widest.gcups,
               100.0 * widest.occupancy);
 
-  std::string json = "{\n  \"bench\": \"many_query\",\n";
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "  \"queries\": %zu,\n  \"distinct_queries\": 6,\n"
-                "  \"db_sequences\": %zu,\n  \"db_residues\": %zu,\n"
-                "  \"cells\": %zu,\n"
-                "  \"speedup_batched_vs_serial\": %.3f,\n  \"runs\": [\n",
-                queries.size(), base_db.size(), base_db.total_residues(),
-                cells, widest.speedup);
-  json += buf;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& r = runs[i];
-    std::snprintf(
-        buf, sizeof(buf),
-        "    {\"threads\": %d, \"serial_seconds\": %.6f, "
-        "\"batched_seconds\": %.6f, \"speedup\": %.3f, "
-        "\"occupancy\": %.4f, \"steals\": %llu, \"cache_hits\": %llu, "
-        "\"cache_misses\": %llu, \"dedup_queries\": %llu, "
-        "\"gcups\": %.3f}%s\n",
-        r.threads, r.serial_s, r.batched_s, r.speedup, r.occupancy,
-        static_cast<unsigned long long>(r.steals),
-        static_cast<unsigned long long>(r.cache_hits),
-        static_cast<unsigned long long>(r.cache_misses),
-        static_cast<unsigned long long>(r.dedup), r.gcups,
-        i + 1 < runs.size() ? "," : "");
-    json += buf;
+  BenchReport report("bench_many_query");
+  report.set_isa(simd::best_available_isa());
+  report.set_workload("queries", queries.size());
+  report.set_workload("distinct_queries", 6);
+  report.set_workload("db_sequences", base_db.size());
+  report.set_workload("db_residues", base_db.total_residues());
+  report.set_workload("cells", cells);
+  report.set_headline("speedup_batched_vs_serial", widest.speedup);
+  for (const Run& r : runs) {
+    obs::Json row = obs::Json::object();
+    row.set("threads", r.threads);
+    row.set("serial_seconds", r.serial_s);
+    row.set("batched_seconds", r.batched_s);
+    row.set("speedup", r.speedup);
+    row.set("occupancy", r.occupancy);
+    row.set("steals", r.steals);
+    row.set("cache_hits", r.cache_hits);
+    row.set("cache_misses", r.cache_misses);
+    row.set("dedup_queries", r.dedup);
+    row.set("gcups", r.gcups);
+    report.add_row("runs", std::move(row));
   }
-  json += "  ]\n}\n";
-
-  const char* path = std::getenv("AALIGN_BENCH_JSON");
-  const std::string file = path != nullptr ? path : "BENCH_many_query.json";
-  if (FILE* f = std::fopen(file.c_str(), "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote %s\n", file.c_str());
-  } else {
-    std::fprintf(stderr, "could not write %s\n", file.c_str());
-    return 1;
-  }
-  return 0;
+  return report.write("BENCH_many_query.json") ? 0 : 1;
 }

@@ -39,6 +39,10 @@ int main() {
   std::printf("%-10s %-12s %10s %10s   %s\n", "config", "input", "iter(ms)",
               "scan(ms)", "winner");
 
+  BenchReport report("fig02_motivation");
+  report.set_isa(plat.isa);
+  report.set_workload("query_len", query.size());
+
   int iterate_wins = 0, scan_wins = 0;
   for (const ConfigCase& cc : paper_configs()) {
     const AlignConfig cfg = make_config(cc);
@@ -63,6 +67,14 @@ int main() {
       (iter_wins ? iterate_wins : scan_wins)++;
       std::printf("%-10s %-12s %10.3f %10.3f   %s\n", cc.label, in.label,
                   t_it * 1e3, t_sc * 1e3, iter_wins ? "iterate" : "scan");
+
+      obs::Json row = obs::Json::object();
+      row.set("config", cc.label);
+      row.set("input", in.label);
+      row.set("iterate_seconds", t_it);
+      row.set("scan_seconds", t_sc);
+      row.set("winner", iter_wins ? "iterate" : "scan");
+      report.add_row("conditions", std::move(row));
     }
   }
   std::printf("\nconditions won: iterate %d, scan %d\n", iterate_wins,
@@ -70,5 +82,8 @@ int main() {
   std::printf(
       "paper shape: both counters nonzero - no single strategy dominates, "
       "motivating the hybrid method.\n");
-  return 0;
+  report.set_headline("iterate_win_share",
+                      static_cast<double>(iterate_wins) /
+                          static_cast<double>(iterate_wins + scan_wins));
+  return report.write("BENCH_fig02_motivation.json") ? 0 : 1;
 }

@@ -31,6 +31,11 @@ int main() {
               "config", "query", "seq(ms)", "iter(ms)", "scan(ms)",
               "iter-spd", "scan-spd");
 
+  BenchReport report("fig09_speedup_vs_sequential");
+  report.set_workload("subject_len", subject.size());
+  double speedup_sum = 0.0;
+  int speedup_n = 0;
+
   for (const Platform& plat : platforms()) {
     for (const ConfigCase& cc : paper_configs()) {
       const AlignConfig cfg = make_config(cc);
@@ -68,6 +73,19 @@ int main() {
         std::printf("%-12s %-10s Q%-6zu %10.3f %10.3f %10.3f %9.1fx %9.1fx\n",
                     plat.label, cc.label, query.size(), t_seq * 1e3,
                     t_it * 1e3, t_sc * 1e3, t_seq / t_it, t_seq / t_sc);
+
+        obs::Json row = obs::Json::object();
+        row.set("platform", plat.label);
+        row.set("config", cc.label);
+        row.set("query_len", query.size());
+        row.set("sequential_seconds", t_seq);
+        row.set("iterate_seconds", t_it);
+        row.set("scan_seconds", t_sc);
+        row.set("iterate_speedup", t_seq / t_it);
+        row.set("scan_speedup", t_seq / t_sc);
+        report.add_row("panels", std::move(row));
+        speedup_sum += t_seq / t_it + t_seq / t_sc;
+        speedup_n += 2;
       }
     }
   }
@@ -75,5 +93,7 @@ int main() {
       "\npaper shape: both strategies well above 1x; iterate's speedup "
       "varies more across queries than scan's; wider vectors (MIC) give "
       "larger speedups.\n");
-  return 0;
+  report.set_headline("mean_striped_speedup",
+                      speedup_n > 0 ? speedup_sum / speedup_n : 0.0);
+  return report.write("BENCH_fig09_speedup.json") ? 0 : 1;
 }

@@ -43,6 +43,10 @@ int main() {
   std::printf("Figure 10: iterate / scan / hybrid across QC_MI similarity "
               "(query Q%zu)\n\n", query.size());
 
+  BenchReport report("fig10_similarity_hybrid");
+  report.set_workload("query_len", query.size());
+  int hybrid_good_total = 0, cells_total = 0;
+
   for (const Platform& plat : platforms()) {
     for (const ConfigCase& cc : paper_configs()) {
       const AlignConfig cfg = make_config(cc);
@@ -71,14 +75,31 @@ int main() {
         std::printf("%-8s %10.3f %10.3f %10.3f   %-8s %6.2fx\n",
                     sub.label.c_str(), t[0] * 1e3, t[1] * 1e3, t[2] * 1e3,
                     best_name, ratio);
+
+        obs::Json row = obs::Json::object();
+        row.set("platform", plat.label);
+        row.set("config", cc.label);
+        row.set("similarity", sub.label);
+        row.set("iterate_seconds", t[0]);
+        row.set("scan_seconds", t[1]);
+        row.set("hybrid_seconds", t[2]);
+        row.set("best", best_name);
+        row.set("hybrid_vs_best", ratio);
+        report.add_row("subjects", std::move(row));
+        ++cells_total;
       }
+      hybrid_good_total += hybrid_good;
       std::printf("hybrid within 1.25x of the better strategy on %d/9 "
                   "subjects\n\n", hybrid_good);
     }
   }
+  report.set_headline("hybrid_good_share",
+                      cells_total > 0 ? static_cast<double>(hybrid_good_total) /
+                                            static_cast<double>(cells_total)
+                                      : 0.0);
   std::printf(
       "paper shape: linear-gap panels - iterate always wins, hybrid rides "
       "it; affine panels - scan wins hi/md-similarity subjects, iterate "
       "wins dissimilar ones; hybrid tracks the winner.\n");
-  return 0;
+  return report.write("BENCH_fig10_similarity.json") ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "bench_common.h"
 #include "simd/modules.h"
 #include "simd/vec_avx2.h"
 #include "simd/vec_avx512.h"
@@ -127,4 +128,43 @@ BENCH_SCAN(std::int32_t, Avx2, WgtMaxScan_avx2_i32)
 BENCH_SCAN(std::int32_t, Avx512, WgtMaxScan_avx512_i32)
 #endif
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus one "benchmarks" series row per run so
+// the binary writes the same aalign.run document as every other bench.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    ConsoleReporter::ReportRuns(report);
+    for (const Run& r : report) {
+      if (r.error_occurred || r.iterations == 0) continue;
+      aalign::obs::Json row = aalign::obs::Json::object();
+      row.set("name", r.benchmark_name());
+      row.set("iterations", r.iterations);
+      row.set("real_ns_per_iter", r.GetAdjustedRealTime());
+      row.set("cpu_ns_per_iter", r.GetAdjustedCPUTime());
+      const auto items = r.counters.find("items_per_second");
+      if (items != r.counters.end()) {
+        row.set("items_per_second", static_cast<double>(items->second));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::vector<aalign::obs::Json> rows;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  aalign::bench::BenchReport report("micro_vector_modules");
+  for (aalign::obs::Json& row : reporter.rows) {
+    report.add_row("benchmarks", std::move(row));
+  }
+  return report.write("BENCH_micro_vector_modules.json") ? 0 : 1;
+}

@@ -28,12 +28,13 @@ namespace aalign::codegen {
 
 class CodegenError : public std::runtime_error {
  public:
-  CodegenError(const std::string& msg, int line = 0, int col = 0)
-      : std::runtime_error(line != 0 ? msg + " (line " + std::to_string(line) +
-                                           ", col " + std::to_string(col) + ")"
-                                     : msg),
-        line(line),
-        col(col) {}
+  CodegenError(const std::string& msg, int at_line = 0, int at_col = 0)
+      : std::runtime_error(at_line != 0
+                               ? msg + " (line " + std::to_string(at_line) +
+                                     ", col " + std::to_string(at_col) + ")"
+                               : msg),
+        line(at_line),
+        col(at_col) {}
   int line;
   int col;
 };

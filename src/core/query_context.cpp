@@ -5,6 +5,7 @@
 
 #include "core/adaptive.h"
 #include "core/sequential.h"
+#include "obs/metrics.h"
 #include "simd/modules.h"
 
 namespace aalign::core {
@@ -17,6 +18,8 @@ QueryContext::QueryContext(const score::ScoreMatrix& matrix,
       opt_(opt),
       query_(query.begin(), query.end()),
       query_len_(query.size()) {
+  obs::ScopedTimer build_timer(
+      obs::registry().timer("phase.profile_build"));
   cfg_.validate();
   if (query.empty()) throw std::invalid_argument("QueryContext: empty query");
   if (!simd::isa_available(opt_.isa)) {

@@ -1,0 +1,41 @@
+#include "obs/instrument.h"
+
+#include <string>
+
+#include "search/batch_scheduler.h"
+#include "search/inter_search.h"
+#include "search/thread_pool.h"
+
+namespace aalign::obs {
+
+void record_pool_stats(const search::PoolStats& stats) {
+  Registry& r = registry();
+  r.counter("pool.steals").add(stats.steals);
+  r.counter("pool.stolen_items").add(stats.stolen_items);
+  r.counter("pool.steal_scans").add(stats.steal_scans);
+}
+
+void record_batch_stats(const search::BatchStats& stats) {
+  // Cache traffic is recorded by QueryProfileCache itself and pool
+  // traffic by the pool run - only the scheduler-shape counters are
+  // published here, so nothing double-counts.
+  Registry& r = registry();
+  r.counter("batch.runs").add(1);
+  r.counter("batch.tiles").add(stats.tiles);
+  r.counter("batch.dedup_queries").add(stats.dedup_queries);
+}
+
+void record_inter_tier(int tier, const search::InterTierStats& stats) {
+  if (stats.subjects == 0) return;
+  static constexpr const char* kTierPrefix[] = {"inter.i8", "inter.i16",
+                                                "inter.i32"};
+  if (tier < 0 || tier >= 3) return;
+  const std::string prefix = kTierPrefix[tier];
+  Registry& r = registry();
+  r.counter(prefix + ".subjects").add(stats.subjects);
+  r.counter(prefix + ".batches").add(stats.batches);
+  r.counter(prefix + ".overflowed").add(stats.overflowed);
+  r.counter(prefix + ".cells").add(stats.cells);
+}
+
+}  // namespace aalign::obs

@@ -1,0 +1,59 @@
+// The one reporting path from the library's accounting structs onto the
+// metrics registry. The structs themselves (KernelStats, PoolStats,
+// BatchStats, InterTierStats) stay as cheap per-run return values - the
+// hot loops accumulate into per-worker instances as before - and the
+// search layers publish merged totals here, so every consumer (the CLI's
+// --metrics-json, the bench emitters, the CI gate) reads one namespace:
+//
+//   kernel.columns / kernel.lazy_steps          lazy-F correction passes
+//   kernel.iterate_columns / kernel.scan_columns  strategy column mix
+//   hybrid.switches                              mode changes (Sec. V-B)
+//   search.align_calls / search.promotions       adaptive-width retries
+//   cache.profile.{hits,misses,evictions}        QueryProfileCache traffic
+//   pool.{steals,stolen_items,steal_scans}       work-stealing traffic
+//   batch.{runs,tiles,dedup_queries}             scheduler shape
+//   inter.{i8,i16,i32}.{subjects,batches,overflowed,cells}  ladder tiers
+//
+// Histograms/timers (hybrid dwell, per-phase wall clocks) are recorded at
+// their call sites; this header only centralizes the struct -> counter
+// fan-out so the mapping cannot drift between layers.
+#pragma once
+
+#include "core/config.h"
+#include "obs/metrics.h"
+
+namespace aalign::obs {
+
+// Merged per-run kernel totals (DatabaseSearch::search, BatchScheduler
+// per-group accumulation, bench drivers).
+inline void record_kernel_stats(const KernelStats& stats) {
+  Registry& r = registry();
+  r.counter("kernel.columns").add(stats.columns);
+  r.counter("kernel.lazy_steps").add(stats.lazy_steps);
+  r.counter("kernel.iterate_columns").add(stats.iterate_columns);
+  r.counter("kernel.scan_columns").add(stats.scan_columns);
+  r.counter("hybrid.switches").add(stats.switches);
+}
+
+}  // namespace aalign::obs
+
+// PoolStats/BatchStats live in the search layer, which already depends on
+// obs; their recorders are declared alongside to keep include cycles out
+// of core. Definitions in the respective .cpp files call these names.
+namespace aalign::search {
+struct PoolStats;
+struct BatchStats;
+struct InterTierStats;
+}  // namespace aalign::search
+
+namespace aalign::obs {
+
+void record_pool_stats(const search::PoolStats& stats);
+void record_batch_stats(const search::BatchStats& stats);
+
+// One rung of the precision ladder; `tier` indexes core::InterPrecision
+// (0 = i8, 1 = i16, 2 = i32). Tiers that never ran (subjects == 0) are
+// skipped so absent backends don't materialize zero counters.
+void record_inter_tier(int tier, const search::InterTierStats& stats);
+
+}  // namespace aalign::obs

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/instrument.h"
 #include "search/top_k.h"
 #include "util/stopwatch.h"
 
@@ -103,11 +104,13 @@ std::shared_ptr<const core::QueryContext> QueryProfileCache::get_or_build(
         slot = *it->second;
         lru_.splice(lru_.begin(), lru_, it->second);  // promote
         ++hits_;
+        obs::registry().counter("cache.profile.hits").add(1);
         break;
       }
     }
     if (!slot) {
       ++misses_;
+      obs::registry().counter("cache.profile.misses").add(1);
       slot = std::make_shared<Slot>();
       slot->key = key;
       slot->hash = hash;
@@ -118,6 +121,7 @@ std::shared_ptr<const core::QueryContext> QueryProfileCache::get_or_build(
         // alive through their shared_ptr.
         erase_slot_locked(lru_.back());
         ++evictions_;
+        obs::registry().counter("cache.profile.evictions").add(1);
       }
     }
   }
@@ -235,8 +239,10 @@ std::vector<SearchResult> BatchScheduler::run(
   std::vector<std::vector<long>> scores(ng);
   for (auto& s : scores) s.assign(ns, 0);
 
+  obs::Histogram& tile_us = obs::registry().histogram("batch.tile_us");
   PoolStats pool_stats;
   util::Stopwatch wall;
+  obs::ScopedTimer batch_timer(obs::registry().timer("phase.batch_run"));
   parallel_for_work_stealing(
       tiles.size(), threads,
       [&](int id, std::size_t ti) {
@@ -256,9 +262,12 @@ std::vector<SearchResult> BatchScheduler::run(
           acc.stats.scan_columns += ar.kernel.stats.scan_columns;
           acc.stats.switches += ar.kernel.stats.switches;
         }
-        w.busy_seconds += tile_timer.seconds();
+        const double tile_seconds = tile_timer.seconds();
+        w.busy_seconds += tile_seconds;
+        tile_us.record_at(id, static_cast<std::uint64_t>(tile_seconds * 1e6));
       },
       &pool_stats);
+  batch_timer.stop();
   const double wall_seconds = wall.seconds();
 
   // Merge per-group, then hand every occurrence of the group a copy. A
@@ -281,6 +290,8 @@ std::vector<SearchResult> BatchScheduler::run(
       res.stats.scan_columns += acc.stats.scan_columns;
       res.stats.switches += acc.stats.switches;
     }
+    obs::record_kernel_stats(res.stats);
+    obs::registry().counter("search.promotions").add(res.promotions);
     remap_scores_to_original(db, scores[gi]);
     res.top = select_top_k(scores[gi], opt_.top_k);
     if (opt_.keep_all_scores) res.scores = std::move(scores[gi]);
@@ -307,6 +318,8 @@ std::vector<SearchResult> BatchScheduler::run(
   stats_.dedup_queries = nq - ng;
   stats_.cells = computed_cells;
   stats_.gcups = util::gcups_cells(computed_cells, wall_seconds);
+  obs::record_batch_stats(stats_);
+  obs::registry().counter("search.align_calls").add(ng * ns);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "obs/instrument.h"
 #include "search/batch_scheduler.h"
 #include "search/thread_pool.h"
 #include "search/top_k.h"
@@ -34,17 +35,20 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
   std::vector<long> scores(db.size());
 
   util::Stopwatch timer;
-  parallel_for_dynamic(db.size(), threads, [&](int id, std::size_t i) {
-    WorkerState& w = workers[static_cast<std::size_t>(id)];
-    const core::AdaptiveResult ar = ctx.align(db[i].view(), w.ws);
-    scores[i] = ar.kernel.score;
-    w.promotions += static_cast<std::uint64_t>(ar.promotions);
-    w.stats.columns += ar.kernel.stats.columns;
-    w.stats.lazy_steps += ar.kernel.stats.lazy_steps;
-    w.stats.iterate_columns += ar.kernel.stats.iterate_columns;
-    w.stats.scan_columns += ar.kernel.stats.scan_columns;
-    w.stats.switches += ar.kernel.stats.switches;
-  });
+  {
+    obs::ScopedTimer scan_timer(obs::registry().timer("phase.search_scan"));
+    parallel_for_dynamic(db.size(), threads, [&](int id, std::size_t i) {
+      WorkerState& w = workers[static_cast<std::size_t>(id)];
+      const core::AdaptiveResult ar = ctx.align(db[i].view(), w.ws);
+      scores[i] = ar.kernel.score;
+      w.promotions += static_cast<std::uint64_t>(ar.promotions);
+      w.stats.columns += ar.kernel.stats.columns;
+      w.stats.lazy_steps += ar.kernel.stats.lazy_steps;
+      w.stats.iterate_columns += ar.kernel.stats.iterate_columns;
+      w.stats.scan_columns += ar.kernel.stats.scan_columns;
+      w.stats.switches += ar.kernel.stats.switches;
+    });
+  }
 
   SearchResult res;
   res.seconds = timer.seconds();
@@ -58,7 +62,11 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
     res.stats.scan_columns += w.stats.scan_columns;
     res.stats.switches += w.stats.switches;
   }
+  obs::record_kernel_stats(res.stats);
+  obs::registry().counter("search.align_calls").add(db.size());
+  obs::registry().counter("search.promotions").add(res.promotions);
 
+  obs::ScopedTimer topk_timer(obs::registry().timer("phase.topk"));
   remap_scores_to_original(db, scores);
   res.top = select_top_k(scores, opt_.top_k);
   if (opt_.keep_all_scores) res.scores = std::move(scores);

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/instrument.h"
 #include "search/thread_pool.h"
 #include "search/top_k.h"
 #include "util/stopwatch.h"
@@ -242,6 +243,7 @@ InterSearchResult InterSequenceSearch::search(
     std::sort(next.begin(), next.end());
     tier.overflowed = next.size();
     tier.gcups = util::gcups_cells(tier.cells, tier.seconds);
+    obs::record_inter_tier(ti, tier);
     res.promotions += next.size();
     pending = std::move(next);
   }
@@ -344,6 +346,7 @@ std::vector<InterSearchResult> InterSequenceSearch::search_many(
         tier.lanes = engine->lanes(static_cast<core::InterPrecision>(ti));
         res.promotions += tier.overflowed;
       }
+      obs::record_inter_tier(ti, tier);
     }
     res.seconds = wall_seconds;  // shared batch wall clock (documented)
     res.cells = queries[qi].size() * db.total_residues();

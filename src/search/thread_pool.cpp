@@ -7,6 +7,8 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/instrument.h"
+
 namespace aalign::search {
 
 int default_thread_count() {
@@ -131,11 +133,14 @@ void parallel_for_work_stealing(
   worker(0);
   for (std::thread& t : pool) t.join();
 
-  if (stats != nullptr) {
-    stats->steals = steals.load();
-    stats->stolen_items = stolen_items.load();
-    stats->steal_scans = steal_scans.load();
-  }
+  PoolStats run_stats;
+  run_stats.steals = steals.load();
+  run_stats.stolen_items = stolen_items.load();
+  run_stats.steal_scans = steal_scans.load();
+  // Every pool user (DatabaseSearch, BatchScheduler, inter-sequence tiles)
+  // funnels through here, so this is the single pool.* reporting point.
+  obs::record_pool_stats(run_stats);
+  if (stats != nullptr) *stats = run_stats;
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
 
 namespace aalign::seq {
 
@@ -24,7 +25,13 @@ Sequence SequenceGenerator::protein(std::size_t len, std::string id) {
                                                     kAaFreq.end());
   std::discrete_distribution<int> d = dist;
   Sequence s;
-  s.id = id.empty() ? "Q" + std::to_string(len) : std::move(id);
+  if (id.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "Q%zu", len);
+    s.id = buf;
+  } else {
+    s.id = std::move(id);
+  }
   s.residues.reserve(len);
   for (std::size_t i = 0; i < len; ++i) s.residues.push_back(kAaLetters[d(rng_)]);
   return s;
@@ -34,7 +41,13 @@ Sequence SequenceGenerator::dna(std::size_t len, std::string id) {
   static constexpr char bases[] = "ACGT";
   std::uniform_int_distribution<int> d(0, 3);
   Sequence s;
-  s.id = id.empty() ? "D" + std::to_string(len) : std::move(id);
+  if (id.empty()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "D%zu", len);
+    s.id = buf;
+  } else {
+    s.id = std::move(id);
+  }
   s.residues.reserve(len);
   for (std::size_t i = 0; i < len; ++i) s.residues.push_back(bases[d(rng_)]);
   return s;

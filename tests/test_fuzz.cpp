@@ -9,6 +9,7 @@
 // 3); sanitizer CI jobs raise it.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <random>
 
@@ -185,7 +186,9 @@ TEST(Fuzz, DifferentialSearchHarness) {
     seq::Database db;
     int n = 0;
     auto add = [&](std::vector<std::uint8_t> s) {
-      db.add(seq::EncodedSequence{"s" + std::to_string(n++), std::move(s)});
+      char id[32];
+      std::snprintf(id, sizeof(id), "s%d", n++);
+      db.add(seq::EncodedSequence{id, std::move(s)});
     };
     // Stride boundaries: one below, at, and above each power-of-two lane
     // granularity up to 128.

@@ -46,8 +46,8 @@ TEST_P(HirschbergProperty, ScoreMatchesOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Pens, HirschbergProperty,
                          testing::Values(0, 1, 2, 3, 4),
-                         [](const testing::TestParamInfo<int>& info) {
-                           return "pen" + std::to_string(info.param);
+                         [](const testing::TestParamInfo<int>& pinfo) {
+                           return "pen" + std::to_string(pinfo.param);
                          });
 
 TEST(Hirschberg, CrossingGapCase) {

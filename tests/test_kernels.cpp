@@ -197,10 +197,10 @@ TEST_P(Int8Kernels, SaturationIsFlagged) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, Int8Kernels,
                          testing::ValuesIn(int8_cases()),
-                         [](const testing::TestParamInfo<Int8Case>& info) {
-                           std::string s = simd::isa_name(info.param.isa);
+                         [](const testing::TestParamInfo<Int8Case>& pinfo) {
+                           std::string s = simd::isa_name(pinfo.param.isa);
                            s += "_";
-                           s += to_string(info.param.strategy);
+                           s += to_string(pinfo.param.strategy);
                            for (char& ch : s) {
                              if (ch == '-') ch = '_';
                            }

@@ -103,9 +103,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      AlignKind::SemiGlobalQuery,
                                      AlignKind::Overlap),
                      testing::Values(0, 1, 2, 3, 4)),
-    [](const testing::TestParamInfo<std::tuple<AlignKind, int>>& info) {
-      std::string name = std::string(to_string(std::get<0>(info.param))) +
-                         "_pen" + std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<std::tuple<AlignKind, int>>& pinfo) {
+      std::string name = std::string(to_string(std::get<0>(pinfo.param))) +
+                         "_pen" + std::to_string(std::get<1>(pinfo.param));
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -21,14 +21,20 @@
 //   --batch          run EVERY query record in -q as one batched
 //                    search_many (tile scheduler + profile LRU)
 //   --shard-size N   subjects per scheduler tile         [auto]
+//   --metrics-json FILE  write the run as a schema "aalign.run" v2 JSON
+//                    document (run metadata + per-query series + the full
+//                    metrics registry snapshot; see docs/observability.md)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/stats.h"
+#include "obs/export.h"
 #include "score/evalue.h"
 #include "search/database_search.h"
+#include "search/thread_pool.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
 #include "seq/pairgen.h"
@@ -85,7 +91,8 @@ void print_help() {
       "  --threads N / --top K                        [hardware / 10]\n"
       "  --format table|tsv                           [table]\n"
       "  --batch  (all -q records as one scheduled batch)\n"
-      "  --shard-size N  subjects per tile            [auto]\n");
+      "  --shard-size N  subjects per tile            [auto]\n"
+      "  --metrics-json FILE  machine-readable run document\n");
 }
 
 // Prints one query's hit table/TSV rows. `db` may have been re-sorted by
@@ -141,6 +148,7 @@ int main(int argc, char** argv) {
   std::string query_path, db_path, matrix_name = "blosum62";
   std::string kind_name = "local", strategy_name = "hybrid";
   std::string isa_name_opt, width_name = "auto", format = "table";
+  std::string metrics_json_path;
   int open = 10, ext = 2, threads = 0;
   std::size_t top_k = 10, shard_size = 0;
   bool demo = false, batch = false;
@@ -166,6 +174,7 @@ int main(int argc, char** argv) {
     else if (a == "--batch") batch = true;
     else if (a == "--shard-size") shard_size = static_cast<std::size_t>(std::atol(next().c_str()));
     else if (a == "--format") format = next();
+    else if (a == "--metrics-json") metrics_json_path = next();
     else if (a == "-h" || a == "--help") { print_help(); return 0; }
     else die("unknown option '" + a + "'");
   }
@@ -247,6 +256,61 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     die(e.what());
+  }
+
+  if (!metrics_json_path.empty()) {
+    obs::RunMeta meta;
+    meta.tool = "aalign_search";
+    meta.isa = simd::isa_name(opt.query.isa);
+    meta.threads = threads > 0 ? threads : search::default_thread_count();
+
+    obs::Json workload = obs::Json::object();
+    workload.set("queries", query_records.size());
+    workload.set("db_seqs", db.size());
+    workload.set("db_residues", db.total_residues());
+    workload.set("matrix", matrix.name());
+    workload.set("kind", kind_name);
+    workload.set("strategy", strategy_name);
+    workload.set("width", width_name);
+    workload.set("mode", batch ? "batch" : "single");
+
+    std::size_t total_cells = 0;
+    double wall = 0.0;
+    obs::Json rows = obs::Json::array();
+    for (std::size_t qi = 0; qi < results.size(); ++qi) {
+      const search::SearchResult& res = results[qi];
+      total_cells += res.cells;
+      wall = std::max(wall, res.seconds);  // batch results share one wall
+      obs::Json row = obs::Json::object();
+      row.set("query", query_records[qi].id);
+      row.set("query_len", query_records[qi].size());
+      row.set("seconds", res.seconds);
+      row.set("gcups", res.gcups);
+      row.set("cells", res.cells);
+      row.set("promotions", res.promotions);
+      row.set("hybrid_switches", res.stats.switches);
+      row.set("lazy_steps", res.stats.lazy_steps);
+      row.set("columns", res.stats.columns);
+      rows.push_back(std::move(row));
+    }
+    obs::Json series = obs::Json::object();
+    series.set("queries", std::move(rows));
+
+    const obs::Snapshot snap = obs::registry().snapshot();
+    obs::Json doc = obs::make_run_document(meta, std::move(workload),
+                                           std::move(series), &snap);
+    obs::Json headline = obs::Json::object();
+    headline.set("name", "gcups");
+    headline.set("value",
+                 wall > 0 ? static_cast<double>(total_cells) / 1e9 / wall
+                          : 0.0);
+    doc.set("headline", std::move(headline));
+
+    const std::string err = obs::validate_run_document(doc);
+    if (!err.empty()) die("internal: metrics document invalid: " + err);
+    if (!obs::write_json_file(metrics_json_path, doc)) {
+      die("cannot write " + metrics_json_path);
+    }
   }
 
   if (format == "tsv") {

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Diff two aalign.run benchmark documents and gate on regressions.
+
+Usage:
+  bench_compare.py --baseline BASE.json --candidate CAND.json [CAND2 ...]
+                   [--warn-pct 10] [--fail-pct 25] [--strict]
+
+The baseline is one committed schema "aalign.run" v2 document (see
+docs/observability.md). One or more candidate documents come from fresh
+runs of the same binary; with several candidates (CI runs the bench five
+times) the per-metric MEDIAN across them is compared, which filters
+scheduler noise on shared runners.
+
+What is compared:
+  * the "headline" metric - always. This is the gate: worse than
+    --fail-pct => exit 1; worse than --warn-pct => exit 0 with a warning.
+  * with --strict, every numeric field of every series row whose identity
+    fields (strings plus *_len/threads/stride/lanes keys) match between
+    baseline and candidate is gated the same way. Without --strict these
+    are printed for context only.
+
+Direction is inferred from the metric name: fields containing "seconds",
+"_ns", "_us" or ending in "_s" are lower-is-better; everything else
+(gcups, speedup, share, items_per_second, ...) is higher-is-better.
+Counter-like fields (switches, steals, iterations, subjects, cells, ...)
+are informational and never gated.
+
+Exit codes: 0 OK (possibly with warnings), 1 regression past --fail-pct,
+2 usage or schema error.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+SCHEMA = "aalign.run"
+SCHEMA_VERSION = 2
+
+# Numeric fields that describe workload shape, not performance: never
+# treated as perf metrics even under --strict.
+NEVER_GATE = {
+    "threads", "stride", "lanes", "query_len", "subject_len", "threshold",
+    "iterations", "subjects", "batches", "overflowed", "cells", "steals",
+    "cache_hits", "cache_misses", "dedup_queries", "switches",
+    "requeue_rate", "occupancy", "passes_per_col",
+}
+
+LOWER_BETTER_MARKERS = ("seconds", "_ns", "_us", "_ms")
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA or doc.get("schema_version") != SCHEMA_VERSION:
+        sys.exit(
+            f"bench_compare: {path} is not a {SCHEMA} v{SCHEMA_VERSION} "
+            f"document (schema={doc.get('schema')!r}, "
+            f"version={doc.get('schema_version')!r})"
+        )
+    return doc
+
+
+def lower_is_better(name):
+    n = name.lower()
+    return any(m in n for m in LOWER_BETTER_MARKERS) or n.endswith("_s")
+
+
+def regression_pct(name, base, cand):
+    """Positive = candidate worse than baseline, in percent."""
+    if base == 0:
+        return 0.0
+    if lower_is_better(name):
+        return (cand - base) / abs(base) * 100.0
+    return (base - cand) / abs(base) * 100.0
+
+
+def row_key(row):
+    """Identity of a series row: its string fields plus shape fields."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str) or (k in NEVER_GATE and isinstance(v, (int, float))):
+            parts.append((k, v))
+    return tuple(parts)
+
+
+def median_of(values):
+    return statistics.median(values)
+
+
+class Comparison:
+    def __init__(self, warn_pct, fail_pct):
+        self.warn_pct = warn_pct
+        self.fail_pct = fail_pct
+        self.warnings = []
+        self.failures = []
+        self.lines = []
+
+    def check(self, label, name, base, cands, gated):
+        cand = median_of(cands)
+        pct = regression_pct(name, base, cand)
+        arrow = "v" if pct > 0 else "^"
+        status = "ok"
+        if gated and pct > self.fail_pct:
+            status = "FAIL"
+            self.failures.append((label, pct))
+        elif gated and pct > self.warn_pct:
+            status = "warn"
+            self.warnings.append((label, pct))
+        elif not gated:
+            status = "info"
+        self.lines.append(
+            f"  [{status:4}] {label:55} {base:>12.4g} -> {cand:>12.4g} "
+            f"({arrow}{abs(pct):5.1f}%)"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--candidate", required=True, nargs="+")
+    ap.add_argument("--warn-pct", type=float, default=10.0)
+    ap.add_argument("--fail-pct", type=float, default=25.0)
+    ap.add_argument(
+        "--strict", action="store_true",
+        help="also gate matched series fields, not just the headline")
+    args = ap.parse_args()
+
+    base = load_doc(args.baseline)
+    cands = [load_doc(p) for p in args.candidate]
+
+    tool = base.get("run", {}).get("tool", "?")
+    for c in cands:
+        ct = c.get("run", {}).get("tool", "?")
+        if ct != tool:
+            sys.exit(
+                f"bench_compare: tool mismatch: baseline is '{tool}', "
+                f"candidate is '{ct}'")
+
+    cmp_ = Comparison(args.warn_pct, args.fail_pct)
+    print(f"bench_compare: {tool}  baseline={args.baseline}  "
+          f"candidates={len(cands)} (median)  "
+          f"warn>{args.warn_pct:g}% fail>{args.fail_pct:g}%")
+
+    same_workload = all(c.get("workload") == base.get("workload") for c in cands)
+    if not same_workload:
+        print("  note: workload differs from baseline (e.g. quick mode vs "
+              "full scale); only scale-free ratios are meaningful")
+
+    # Headline: the gate.
+    hb = base.get("headline")
+    if hb is None:
+        print("  note: baseline has no headline; nothing to gate")
+    else:
+        missing = [p for c, p in zip(cands, args.candidate)
+                   if c.get("headline") is None
+                   or c["headline"].get("name") != hb["name"]]
+        if missing:
+            sys.exit(f"bench_compare: candidate(s) missing headline "
+                     f"'{hb['name']}': {missing}")
+        cmp_.check(f"headline.{hb['name']}", hb["name"], hb["value"],
+                   [c["headline"]["value"] for c in cands], gated=True)
+
+    # Series rows, matched by identity fields across all documents.
+    base_series = base.get("series", {})
+    for sname, rows in sorted(base_series.items()):
+        cand_rows = []
+        for c in cands:
+            indexed = {row_key(r): r for r in c.get("series", {}).get(sname, [])}
+            cand_rows.append(indexed)
+        for row in rows:
+            key = row_key(row)
+            matches = [idx[key] for idx in cand_rows if key in idx]
+            if len(matches) != len(cands):
+                continue  # row absent in some candidate (changed workload)
+            keylabel = ",".join(str(v) for _, v in key) or "-"
+            for field in sorted(row):
+                v = row[field]
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    continue
+                if field in NEVER_GATE:
+                    continue
+                vals = [m.get(field) for m in matches]
+                if any(not isinstance(x, (int, float)) for x in vals):
+                    continue
+                gated = args.strict and same_workload
+                cmp_.check(f"{sname}[{keylabel}].{field}", field, v, vals,
+                           gated)
+
+    for line in cmp_.lines:
+        print(line)
+
+    if cmp_.warnings:
+        print(f"bench_compare: {len(cmp_.warnings)} warning(s) "
+              f"(>{args.warn_pct:g}% regression)")
+    if cmp_.failures:
+        worst = max(p for _, p in cmp_.failures)
+        print(f"bench_compare: FAIL - {len(cmp_.failures)} metric(s) "
+              f"regressed more than {args.fail_pct:g}% (worst {worst:.1f}%)")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
