@@ -1,0 +1,129 @@
+// Cooperative cancellation for the alignment stack (the serving layer's
+// request lifecycle primitive, usable from any caller).
+//
+// A CancelToken carries two independent stop reasons: an explicit cancel
+// flag (client disconnected, operator abort) and an absolute deadline on
+// the steady clock. It is polled, never signalled: the kernel drivers
+// check it once per stride-chunk of columns (kCancelStrideColumns), the
+// thread-pool workers once per work item, and the schedulers once per
+// subject - so a stopped request quits within one chunk per worker while
+// the per-cell hot path stays untouched.
+//
+// Layers below the service return the stop through KernelResult::cancelled
+// / AdaptiveResult::cancelled; the search front-ends (DatabaseSearch,
+// BatchScheduler, InterSequenceSearch) convert it into a CancelledError so
+// a stopped request can never be mistaken for a scored one (partial scores
+// are never returned).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace aalign::core {
+
+// Columns an engine may process between two token polls. One poll is an
+// atomic load (plus a clock read when a deadline is armed), amortized over
+// this many full striped columns - well under 0.1% of kernel time, and the
+// bound on post-cancellation work per worker.
+inline constexpr long kCancelStrideColumns = 512;
+
+enum class StopReason : std::uint8_t {
+  None = 0,
+  Cancelled,        // explicit cancel() - disconnect, shed, operator abort
+  DeadlineExceeded  // armed deadline passed
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests a stop. Idempotent; safe from any thread (including signal-
+  // adjacent contexts - it is a single relaxed store).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Arms an absolute steady-clock deadline. A zero/past deadline expires
+  // on the next poll. Re-arming replaces the previous deadline.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds d) noexcept {
+    set_deadline(std::chrono::steady_clock::now() + d);
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  // The poll. Cheap enough for per-chunk use: one relaxed load, plus one
+  // steady_clock read only when a deadline is armed.
+  bool stop_requested() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    return dl != kNoDeadline && now_ns() >= dl;
+  }
+
+  // Like stop_requested(), but distinguishes the reason (the service maps
+  // Cancelled / DeadlineExceeded onto different wire error codes).
+  StopReason stop_reason() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return StopReason::Cancelled;
+    }
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl != kNoDeadline && now_ns() >= dl) {
+      return StopReason::DeadlineExceeded;
+    }
+    return StopReason::None;
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+  static std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+// Convenience poll for optional-token call sites.
+inline bool stop_requested(const CancelToken* t) noexcept {
+  return t != nullptr && t->stop_requested();
+}
+
+// Thrown by the search front-ends when a run was stopped before all
+// subjects were scored. Carries the reason so callers (the service, tests)
+// can distinguish an explicit cancel from a missed deadline.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(StopReason reason)
+      : std::runtime_error(reason == StopReason::DeadlineExceeded
+                               ? "alignment deadline exceeded"
+                               : "alignment cancelled"),
+        reason_(reason) {}
+  StopReason reason() const noexcept { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+// Normalizes "the token fired" into the exception the front-ends throw.
+// A token that stopped for no recorded reason (raced re-arm) reports
+// Cancelled.
+[[noreturn]] inline void throw_cancelled(const CancelToken& t) {
+  const StopReason r = t.stop_reason();
+  throw CancelledError(r == StopReason::None ? StopReason::Cancelled : r);
+}
+
+}  // namespace aalign::core

@@ -129,6 +129,7 @@ struct KernelStats {
 struct KernelResult {
   long score = 0;
   bool saturated = false;  // narrow type overflowed; caller should promote
+  bool cancelled = false;  // run stopped by a CancelToken; score is invalid
   // With end-tracking enabled (local alignment): the first subject column
   // (1-based) where the final best score is reached; -1 otherwise.
   long subject_end = -1;

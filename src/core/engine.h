@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <span>
 
+#include "core/cancel.h"
 #include "core/config.h"
 #include "core/workspace.h"
 #include "score/profile.h"
@@ -27,11 +28,14 @@ class Engine {
 
   // track_end: record KernelResult::subject_end (local alignment; runs
   // the end-tracking iterate driver regardless of `strategy`).
+  // cancel: optional cooperative stop, polled once per stride-chunk of
+  // columns; a fired token returns KernelResult::cancelled (invalid score).
   virtual KernelResult run(Strategy strategy, const AlignConfig& cfg,
                            const score::StripedProfile<T>& profile,
                            std::span<const std::uint8_t> subject,
                            Workspace<T>& ws, const HybridParams& hp,
-                           bool track_end = false) const = 0;
+                           bool track_end = false,
+                           const CancelToken* cancel = nullptr) const = 0;
 };
 
 // Returns the engine for (isa, T), or nullptr when that backend is not

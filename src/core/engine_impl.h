@@ -19,39 +19,36 @@ class EngineImpl final : public Engine<typename Ops::value_type> {
   KernelResult run(Strategy strategy, const AlignConfig& cfg,
                    const score::StripedProfile<T>& profile,
                    std::span<const std::uint8_t> subject, Workspace<T>& ws,
-                   const HybridParams& hp, bool track_end) const override {
+                   const HybridParams& hp, bool track_end,
+                   const CancelToken* cancel) const override {
     const bool affine = cfg.gap_model() == GapModel::Affine;
     if (track_end) strategy = Strategy::Sequential;  // sentinel: tracked run
     switch (cfg.kind) {
       case AlignKind::Local:
-        return affine ? run_kind<AlignKind::Local, true>(strategy, cfg,
-                                                         profile, subject, ws,
-                                                         hp)
-                      : run_kind<AlignKind::Local, false>(strategy, cfg,
-                                                          profile, subject,
-                                                          ws, hp);
+        return affine ? run_kind<AlignKind::Local, true>(
+                            strategy, cfg, profile, subject, ws, hp, cancel)
+                      : run_kind<AlignKind::Local, false>(
+                            strategy, cfg, profile, subject, ws, hp, cancel);
       case AlignKind::Global:
-        return affine ? run_kind<AlignKind::Global, true>(strategy, cfg,
-                                                          profile, subject,
-                                                          ws, hp)
-                      : run_kind<AlignKind::Global, false>(strategy, cfg,
-                                                           profile, subject,
-                                                           ws, hp);
+        return affine ? run_kind<AlignKind::Global, true>(
+                            strategy, cfg, profile, subject, ws, hp, cancel)
+                      : run_kind<AlignKind::Global, false>(
+                            strategy, cfg, profile, subject, ws, hp, cancel);
       case AlignKind::SemiGlobal:
         return affine ? run_kind<AlignKind::SemiGlobal, true>(
-                            strategy, cfg, profile, subject, ws, hp)
+                            strategy, cfg, profile, subject, ws, hp, cancel)
                       : run_kind<AlignKind::SemiGlobal, false>(
-                            strategy, cfg, profile, subject, ws, hp);
+                            strategy, cfg, profile, subject, ws, hp, cancel);
       case AlignKind::SemiGlobalQuery:
         return affine ? run_kind<AlignKind::SemiGlobalQuery, true>(
-                            strategy, cfg, profile, subject, ws, hp)
+                            strategy, cfg, profile, subject, ws, hp, cancel)
                       : run_kind<AlignKind::SemiGlobalQuery, false>(
-                            strategy, cfg, profile, subject, ws, hp);
+                            strategy, cfg, profile, subject, ws, hp, cancel);
       case AlignKind::Overlap:
         return affine ? run_kind<AlignKind::Overlap, true>(
-                            strategy, cfg, profile, subject, ws, hp)
+                            strategy, cfg, profile, subject, ws, hp, cancel)
                       : run_kind<AlignKind::Overlap, false>(
-                            strategy, cfg, profile, subject, ws, hp);
+                            strategy, cfg, profile, subject, ws, hp, cancel);
     }
     return {};
   }
@@ -66,21 +63,25 @@ class EngineImpl final : public Engine<typename Ops::value_type> {
   KernelResult run_kind(Strategy strategy, const AlignConfig& cfg,
                         const score::StripedProfile<T>& profile,
                         std::span<const std::uint8_t> subject,
-                        Workspace<T>& ws, const HybridParams& hp) const {
+                        Workspace<T>& ws, const HybridParams& hp,
+                        const CancelToken* cancel) const {
     const Steps<T> st = make_steps<T>(cfg);
     switch (strategy) {
       case Strategy::StripedIterate:
-        return run_striped_iterate<Ops, K, Affine>(profile, subject, st, ws);
+        return run_striped_iterate<Ops, K, Affine>(profile, subject, st, ws,
+                                                   cancel);
       case Strategy::StripedScan:
-        return run_striped_scan<Ops, K, Affine>(profile, subject, st, ws);
+        return run_striped_scan<Ops, K, Affine>(profile, subject, st, ws,
+                                                cancel);
       case Strategy::Hybrid:
-        return run_hybrid<Ops, K, Affine>(profile, subject, st, ws, hp);
+        return run_hybrid<Ops, K, Affine>(profile, subject, st, ws, hp,
+                                          cancel);
       case Strategy::Sequential:
         // Repurposed as the end-tracking sentinel (see run()); plain
         // sequential alignment lives in core/sequential and is never
         // dispatched through engines.
         return run_striped_iterate_tracked<Ops, K, Affine>(profile, subject,
-                                                           st, ws);
+                                                           st, ws, cancel);
     }
     return {};
   }

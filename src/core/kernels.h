@@ -3,12 +3,20 @@
 // block loops (ColumnEngine::run_*_block), so hybrid pays nothing per
 // column beyond its window/stride decisions. Header is included only by
 // backend TUs (each compiled with its ISA flags) via engine_impl.h.
+//
+// Cancellation: every driver takes an optional CancelToken and polls it
+// once per stride-chunk of columns (kCancelStrideColumns; the hybrid polls
+// at its own window/stride boundaries, which are finer). A fired token
+// makes the driver return immediately with KernelResult::cancelled set and
+// an invalid score - per-cell work never tests the token, so the hot path
+// is unchanged, and a stopped request quits within one chunk.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <span>
 
+#include "core/cancel.h"
 #include "core/column_engine.h"
 #include "obs/metrics.h"
 
@@ -19,11 +27,23 @@ KernelResult run_striped_iterate(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws) {
+    Workspace<typename Ops::value_type>& ws,
+    const CancelToken* cancel = nullptr) {
   ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
-  res.stats.lazy_steps = eng.run_iterate_block(1, subject.data(), n);
+  if (cancel == nullptr) {
+    res.stats.lazy_steps = eng.run_iterate_block(1, subject.data(), n);
+  } else {
+    for (long i = 1; i <= n; i += kCancelStrideColumns) {
+      if (cancel->stop_requested()) {
+        res.cancelled = true;
+        return res;
+      }
+      const long count = std::min(kCancelStrideColumns, n - i + 1);
+      res.stats.lazy_steps += eng.run_iterate_block(i, subject.data(), count);
+    }
+  }
   res.stats.columns = n;
   res.stats.iterate_columns = n;
   res.score = eng.finalize();
@@ -36,11 +56,23 @@ KernelResult run_striped_scan(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws) {
+    Workspace<typename Ops::value_type>& ws,
+    const CancelToken* cancel = nullptr) {
   ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
-  eng.run_scan_block(1, subject.data(), n);
+  if (cancel == nullptr) {
+    eng.run_scan_block(1, subject.data(), n);
+  } else {
+    for (long i = 1; i <= n; i += kCancelStrideColumns) {
+      if (cancel->stop_requested()) {
+        res.cancelled = true;
+        return res;
+      }
+      eng.run_scan_block(i, subject.data(),
+                         std::min(kCancelStrideColumns, n - i + 1));
+    }
+  }
   res.stats.columns = n;
   res.stats.scan_columns = n;
   res.score = eng.finalize();
@@ -58,12 +90,19 @@ KernelResult run_striped_iterate_tracked(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws) {
+    Workspace<typename Ops::value_type>& ws,
+    const CancelToken* cancel = nullptr) {
   ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
   long best = 0;
   for (long i = 1; i <= n; ++i) {
+    if (cancel != nullptr && (i - 1) % kCancelStrideColumns == 0 &&
+        cancel->stop_requested()) {
+      res.cancelled = true;
+      res.subject_end = -1;
+      return res;
+    }
     res.stats.lazy_steps += eng.run_iterate_block(i, subject.data(), 1);
     if constexpr (K == AlignKind::Local) {
       const long cur = eng.running_best();
@@ -91,7 +130,8 @@ KernelResult run_hybrid(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws, const HybridParams& hp) {
+    Workspace<typename Ops::value_type>& ws, const HybridParams& hp,
+    const CancelToken* cancel = nullptr) {
   ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
@@ -112,8 +152,17 @@ KernelResult run_hybrid(
   long i = 1;
   std::uint64_t iterate_dwell = 0;  // columns since the last iterate entry
   while (i <= n) {
+    // The window/stride blocks already bound work between polls below
+    // kCancelStrideColumns for default parameters; clamp covers oversized
+    // user strides.
+    if (cancel != nullptr && cancel->stop_requested()) {
+      res.cancelled = true;
+      return res;
+    }
     if (scan_mode) {
-      const long count = std::min(stride, n - i + 1);
+      const long chunk =
+          cancel != nullptr ? std::min(stride, kCancelStrideColumns) : stride;
+      const long count = std::min(chunk, n - i + 1);
       eng.run_scan_block(i, subject.data(), count);
       res.stats.scan_columns += static_cast<std::uint64_t>(count);
       i += count;
@@ -122,7 +171,9 @@ KernelResult run_hybrid(
       dwell_scan.record(static_cast<std::uint64_t>(count));
       probes.add();
     } else {
-      const long count = std::min(window, n - i + 1);
+      const long chunk =
+          cancel != nullptr ? std::min(window, kCancelStrideColumns) : window;
+      const long count = std::min(chunk, n - i + 1);
       const std::uint64_t lazy =
           eng.run_iterate_block(i, subject.data(), count);
       res.stats.lazy_steps += lazy;

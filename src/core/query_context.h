@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/config.h"
 #include "core/engine.h"
 #include "core/workspace.h"
@@ -33,6 +34,9 @@ struct AdaptiveResult {
   KernelResult kernel;
   ScoreWidth width = ScoreWidth::W32;
   int promotions = 0;
+  // Run stopped by the CancelToken; kernel.score is invalid and the
+  // caller must not record it.
+  bool cancelled = false;
 };
 
 class QueryContext {
@@ -47,8 +51,11 @@ class QueryContext {
   // saturation. Thread-safe given a per-thread WorkspaceSet.
   // track_end records KernelResult::subject_end (see core/local_path.h).
   // An empty subject is legal and scored exactly (boundary conditions).
+  // A fired `cancel` token returns AdaptiveResult::cancelled within one
+  // kernel stride-chunk; the result carries no valid score.
   AdaptiveResult align(std::span<const std::uint8_t> subject,
-                       WorkspaceSet& ws, bool track_end = false) const;
+                       WorkspaceSet& ws, bool track_end = false,
+                       const CancelToken* cancel = nullptr) const;
 
   const AlignConfig& config() const { return cfg_; }
   const QueryOptions& options() const { return opt_; }
@@ -61,7 +68,8 @@ class QueryContext {
  private:
   template <class T>
   KernelResult run_width(std::span<const std::uint8_t> subject,
-                         WorkspaceSet& ws, bool track_end) const;
+                         WorkspaceSet& ws, bool track_end,
+                         const CancelToken* cancel) const;
 
   const score::ScoreMatrix& matrix_;
   AlignConfig cfg_;

@@ -153,7 +153,8 @@ BatchScheduler::BatchScheduler(const score::ScoreMatrix& matrix,
 
 std::vector<SearchResult> BatchScheduler::run(
     const std::vector<std::vector<std::uint8_t>>& queries,
-    seq::Database& db) {
+    seq::Database& db, const core::CancelToken* cancel) {
+  if (core::stop_requested(cancel)) core::throw_cancelled(*cancel);
   const int threads =
       opt_.threads > 0 ? opt_.threads : default_thread_count();
   const std::size_t nq = queries.size();
@@ -253,7 +254,9 @@ std::vector<SearchResult> BatchScheduler::run(
         QueryAcc& acc = w.acc[tile.group];
         long* out = scores[tile.group].data();
         for (std::size_t s = tile.begin; s < tile.end; ++s) {
-          const core::AdaptiveResult ar = ctx.align(db[s].view(), w.ws);
+          const core::AdaptiveResult ar =
+              ctx.align(db[s].view(), w.ws, /*track_end=*/false, cancel);
+          if (ar.cancelled) core::throw_cancelled(*cancel);
           out[s] = ar.kernel.score;
           acc.promotions += static_cast<std::uint64_t>(ar.promotions);
           acc.stats.columns += ar.kernel.stats.columns;
@@ -266,7 +269,7 @@ std::vector<SearchResult> BatchScheduler::run(
         w.busy_seconds += tile_seconds;
         tile_us.record_at(id, static_cast<std::uint64_t>(tile_seconds * 1e6));
       },
-      &pool_stats);
+      &pool_stats, cancel);
   batch_timer.stop();
   const double wall_seconds = wall.seconds();
 

@@ -113,9 +113,16 @@ class BatchScheduler {
   // bit-identical to scanning each occurrence, since the inputs are the
   // same. The profile cache persists across run() calls, so repeated
   // queries in later batches also hit.
+  //
+  // `cancel` (optional) is polled per tile/subject in the pool loop and
+  // per stride-chunk inside the kernels. A fired token throws
+  // core::CancelledError within one chunk per worker; completed tiles
+  // keep nothing visible (no partial results escape), the pool joins
+  // fully, and the scheduler (including its profile cache) stays usable
+  // for the next run().
   std::vector<SearchResult> run(
       const std::vector<std::vector<std::uint8_t>>& queries,
-      seq::Database& db);
+      seq::Database& db, const core::CancelToken* cancel = nullptr);
 
   const BatchStats& last_stats() const { return stats_; }
   const QueryProfileCache& cache() const { return cache_; }

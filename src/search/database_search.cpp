@@ -17,7 +17,8 @@ DatabaseSearch::DatabaseSearch(const score::ScoreMatrix& matrix,
 }
 
 SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
-                                    seq::Database& db) const {
+                                    seq::Database& db,
+                                    const core::CancelToken* cancel) const {
   const int threads =
       opt_.threads > 0 ? opt_.threads : default_thread_count();
 
@@ -39,7 +40,9 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
     obs::ScopedTimer scan_timer(obs::registry().timer("phase.search_scan"));
     parallel_for_dynamic(db.size(), threads, [&](int id, std::size_t i) {
       WorkerState& w = workers[static_cast<std::size_t>(id)];
-      const core::AdaptiveResult ar = ctx.align(db[i].view(), w.ws);
+      const core::AdaptiveResult ar =
+          ctx.align(db[i].view(), w.ws, /*track_end=*/false, cancel);
+      if (ar.cancelled) core::throw_cancelled(*cancel);
       scores[i] = ar.kernel.score;
       w.promotions += static_cast<std::uint64_t>(ar.promotions);
       w.stats.columns += ar.kernel.stats.columns;
@@ -47,7 +50,7 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
       w.stats.iterate_columns += ar.kernel.stats.iterate_columns;
       w.stats.scan_columns += ar.kernel.stats.scan_columns;
       w.stats.switches += ar.kernel.stats.switches;
-    });
+    }, cancel);
   }
 
   SearchResult res;
@@ -75,12 +78,12 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
 
 std::vector<SearchResult> DatabaseSearch::search_many(
     const std::vector<std::vector<std::uint8_t>>& queries,
-    seq::Database& db) const {
+    seq::Database& db, const core::CancelToken* cancel) const {
   if (opt_.batch_queries) {
     // One task grid for the whole workload: (query, subject-shard) tiles
     // over a single work-stealing pool, profiles LRU-cached.
     BatchScheduler scheduler(matrix_, cfg_, opt_);
-    return scheduler.run(queries, db);
+    return scheduler.run(queries, db, cancel);
   }
 
   // Historical serial loop: each query fans out across all workers, then
@@ -92,7 +95,7 @@ std::vector<SearchResult> DatabaseSearch::search_many(
   SearchOptions per_query = opt_;
   per_query.sort_database = false;  // sorted once above
   DatabaseSearch inner(matrix_, cfg_, per_query);
-  for (const auto& q : queries) out.push_back(inner.search(q, db));
+  for (const auto& q : queries) out.push_back(inner.search(q, db, cancel));
   return out;
 }
 

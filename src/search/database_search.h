@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/query_context.h"
 #include "seq/database.h"
 
@@ -55,8 +56,12 @@ class DatabaseSearch {
                  SearchOptions opt = {});
 
   // db is length-sorted in place when opt.sort_database is set.
-  SearchResult search(std::span<const std::uint8_t> query,
-                      seq::Database& db) const;
+  // `cancel` (optional) is polled per subject in the pool loop and per
+  // stride-chunk inside the kernels; a fired token aborts the scan within
+  // one chunk per worker and throws core::CancelledError - a cancelled
+  // search never returns partial scores.
+  SearchResult search(std::span<const std::uint8_t> query, seq::Database& db,
+                      const core::CancelToken* cancel = nullptr) const;
 
   // Many-vs-all: runs each query against the database. Results are
   // returned in query order and are bit-identical regardless of the
@@ -67,7 +72,7 @@ class DatabaseSearch {
   // per-result `seconds` is the whole batch's wall clock.
   std::vector<SearchResult> search_many(
       const std::vector<std::vector<std::uint8_t>>& queries,
-      seq::Database& db) const;
+      seq::Database& db, const core::CancelToken* cancel = nullptr) const;
 
  private:
   const score::ScoreMatrix& matrix_;

@@ -104,7 +104,8 @@ void run_ladder_local(const core::InterEngine& engine,
                       const Penalties& pen, const seq::Database& db,
                       core::InterPrecision start, LadderScratch& w,
                       long* scores,
-                      std::array<TierAcc, core::kInterPrecisionCount>& acc) {
+                      std::array<TierAcc, core::kInterPrecisionCount>& acc,
+                      const core::CancelToken* cancel) {
   for (int ti = static_cast<int>(start); ti < core::kInterPrecisionCount;
        ++ti) {
     const auto prec = static_cast<core::InterPrecision>(ti);
@@ -116,6 +117,9 @@ void run_ladder_local(const core::InterEngine& engine,
         (w.pending.size() + static_cast<std::size_t>(W) - 1) /
         static_cast<std::size_t>(W);
     for (std::size_t b = 0; b < batches; ++b) {
+      // Per-batch poll: a fired token stops the ladder within one lane
+      // batch; partial shard scores never escape (the caller throws).
+      if (core::stop_requested(cancel)) core::throw_cancelled(*cancel);
       const std::size_t begin = b * static_cast<std::size_t>(W);
       const std::size_t count =
           std::min<std::size_t>(W, w.pending.size() - begin);
@@ -180,7 +184,8 @@ int InterSequenceSearch::lanes(core::InterPrecision p) const {
 }
 
 InterSearchResult InterSequenceSearch::search(
-    std::span<const std::uint8_t> query, seq::Database& db) const {
+    std::span<const std::uint8_t> query, seq::Database& db,
+    const core::CancelToken* cancel) const {
   if (query.empty()) {
     throw std::invalid_argument("InterSequenceSearch: empty query");
   }
@@ -227,7 +232,7 @@ InterSearchResult InterSequenceSearch::search(
       run_one_batch(*engine, prec, W, flat_matrix_.data(), matrix_.size(),
                     query, pen_, db, pending, begin, count, w,
                     scores.data());
-    });
+    }, cancel);
 
     InterTierStats& tier = res.tiers[static_cast<std::size_t>(ti)];
     tier.lanes = W;
@@ -262,7 +267,7 @@ InterSearchResult InterSequenceSearch::search(
 
 std::vector<InterSearchResult> InterSequenceSearch::search_many(
     const std::vector<std::vector<std::uint8_t>>& queries,
-    seq::Database& db) const {
+    seq::Database& db, const core::CancelToken* cancel) const {
   for (const auto& q : queries) {
     if (q.empty()) {
       throw std::invalid_argument("InterSequenceSearch: empty query");
@@ -326,8 +331,8 @@ std::vector<InterSearchResult> InterSequenceSearch::search_many(
               tile.begin);
     run_ladder_local(*engine, flat_matrix_.data(), matrix_.size(),
                      queries[tile.query], pen_, db, start_, w.scratch,
-                     scores[tile.query].data(), w.acc[tile.query]);
-  });
+                     scores[tile.query].data(), w.acc[tile.query], cancel);
+  }, nullptr, cancel);
   const double wall_seconds = wall.seconds();
 
   std::vector<InterSearchResult> out(nq);

@@ -55,8 +55,12 @@ class InterSequenceSearch {
   InterSequenceSearch(const score::ScoreMatrix& matrix, Penalties pen,
                       std::optional<simd::IsaKind> isa = {}, int threads = 0);
 
+  // `cancel` (optional) is polled per lane batch in the pool loop; a fired
+  // token aborts within one batch per worker and throws
+  // core::CancelledError - a cancelled search never returns partial scores.
   InterSearchResult search(std::span<const std::uint8_t> query,
-                           seq::Database& db) const;
+                           seq::Database& db,
+                           const core::CancelToken* cancel = nullptr) const;
 
   // Many-vs-all on one task grid: every (query, subject-shard) tile goes
   // through the work-stealing pool, and each tile runs the precision
@@ -66,9 +70,10 @@ class InterSequenceSearch {
   // *timing* is not collected in this mode (tier seconds/gcups stay 0),
   // and each result's `seconds` is the whole batch's wall clock. Results
   // are in query order, scores/hits indexed by ORIGINAL database position.
+  // `cancel` follows the same contract as search().
   std::vector<InterSearchResult> search_many(
       const std::vector<std::vector<std::uint8_t>>& queries,
-      seq::Database& db) const;
+      seq::Database& db, const core::CancelToken* cancel = nullptr) const;
 
   // Lane count of the exact (int32) tier - the historical meaning.
   int lanes() const;

@@ -31,11 +31,15 @@ struct alignas(64) WorkerDeque {
 
 void parallel_for_work_stealing(
     std::size_t count, int threads,
-    const std::function<void(int, std::size_t)>& fn, PoolStats* stats) {
+    const std::function<void(int, std::size_t)>& fn, PoolStats* stats,
+    const core::CancelToken* cancel) {
   threads = std::max(1, threads);
   if (stats != nullptr) *stats = PoolStats{};
   if (threads == 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (core::stop_requested(cancel)) core::throw_cancelled(*cancel);
+      fn(0, i);
+    }
     return;
   }
   const int T = threads;
@@ -62,6 +66,10 @@ void parallel_for_work_stealing(
     try {
       while (!abort.load(std::memory_order_acquire) &&
              remaining.load(std::memory_order_acquire) > 0) {
+        // One token poll per item: a fired token stops every worker from
+        // picking up new work; the item currently inside fn() finishes
+        // its own (chunk-bounded) cancellation path.
+        if (core::stop_requested(cancel)) break;
         std::size_t item = 0;
         bool have = false;
         {
@@ -142,11 +150,19 @@ void parallel_for_work_stealing(
   obs::record_pool_stats(run_stats);
   if (stats != nullptr) *stats = run_stats;
   if (first_error) std::rethrow_exception(first_error);
+  // All workers are joined (the pool is reusable); if the token stopped
+  // the run before every item executed, surface it - partial effects must
+  // never be mistaken for a completed run.
+  if (cancel != nullptr && remaining.load(std::memory_order_acquire) > 0 &&
+      cancel->stop_requested()) {
+    core::throw_cancelled(*cancel);
+  }
 }
 
 void parallel_for_dynamic(std::size_t count, int threads,
-                          const std::function<void(int, std::size_t)>& fn) {
-  parallel_for_work_stealing(count, threads, fn, nullptr);
+                          const std::function<void(int, std::size_t)>& fn,
+                          const core::CancelToken* cancel) {
+  parallel_for_work_stealing(count, threads, fn, nullptr, cancel);
 }
 
 }  // namespace aalign::search

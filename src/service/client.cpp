@@ -1,0 +1,104 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace aalign::service {
+
+ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("ServiceClient: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("ServiceClient: connect failed: ") +
+                             std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ServiceClient::send_only(const WireRequest& req) {
+  return send_raw(request_json(req).dump());
+}
+
+bool ServiceClient::send_raw(std::string line) {
+  if (fd_ < 0) return false;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+WireResponse ServiceClient::read_response() {
+  char chunk[65536];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      std::string err;
+      const obs::Json doc = obs::Json::parse(line, &err);
+      return parse_response(doc);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return error_response(0, ErrorCode::Internal,
+                            "connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return error_response(0, ErrorCode::Internal,
+                            std::string("recv failed: ") +
+                                std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+WireResponse ServiceClient::call(const WireRequest& req) {
+  if (!send_only(req)) {
+    return error_response(req.id, ErrorCode::Internal, "send failed");
+  }
+  return read_response();
+}
+
+}  // namespace aalign::service

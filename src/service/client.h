@@ -1,0 +1,50 @@
+// Loopback client of the aalignd wire protocol (service/protocol.h):
+// connect, write one request line, read one response line. Used by the
+// aalign_client tool, the service tests, and bench_service - the same
+// code path a real client would take.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace aalign::service {
+
+class ServiceClient {
+ public:
+  // Connects immediately; throws std::runtime_error on failure.
+  ServiceClient(const std::string& host, std::uint16_t port);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+
+  // Round trip: send the request line, block for the response line.
+  // Transport failures come back as ok=false / Internal responses (the
+  // caller distinguishes them by ErrorCode, never by exception).
+  WireResponse call(const WireRequest& req);
+
+  // Fire-and-forget send (used with close() to exercise the server's
+  // disconnect-cancellation path). False when the send failed.
+  bool send_only(const WireRequest& req);
+
+  // Raw line send (a trailing newline is appended when missing) - lets
+  // tests exercise the server's malformed-input handling.
+  bool send_raw(std::string line);
+
+  // Blocks for the next response line (pairs with send_only/send_raw).
+  WireResponse read_response();
+
+  // Hard-closes the connection (idempotent; the destructor calls it).
+  void close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last newline
+};
+
+}  // namespace aalign::service

@@ -1,0 +1,105 @@
+#include "service/request_queue.h"
+
+#include <algorithm>
+
+namespace aalign::service {
+
+void PendingRequest::complete(WireResponse resp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;  // defensive: first completion wins
+    resp_ = std::move(resp);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+const WireResponse& PendingRequest::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return resp_;
+}
+
+bool PendingRequest::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return done_; });
+}
+
+bool PendingRequest::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+std::shared_ptr<PendingRequest> make_pending(WireRequest req) {
+  auto p = std::make_shared<PendingRequest>();
+  p->arrival = std::chrono::steady_clock::now();
+  if (req.deadline_ms > 0) {
+    p->deadline = p->arrival + std::chrono::milliseconds(req.deadline_ms);
+    p->cancel.set_deadline(p->deadline);
+  }
+  p->req = std::move(req);
+  return p;
+}
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+RequestQueue::PushOutcome RequestQueue::push(
+    std::shared_ptr<PendingRequest> r,
+    std::shared_ptr<PendingRequest>* victim) {
+  if (victim != nullptr) victim->reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushOutcome::Closed;
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(r));
+      cv_.notify_one();
+      return PushOutcome::Accepted;
+    }
+    // Full: shed the earliest deadline among {queued, incoming}. Stable
+    // preference for queued victims on ties, so a same-deadline incoming
+    // request displaces an equally doomed older one (FIFO fairness).
+    auto it = std::min_element(
+        items_.begin(), items_.end(),
+        [](const std::shared_ptr<PendingRequest>& a,
+           const std::shared_ptr<PendingRequest>& b) {
+          return a->deadline < b->deadline;
+        });
+    if ((*it)->deadline <= r->deadline) {
+      if (victim != nullptr) *victim = *it;
+      *it = std::move(r);
+      cv_.notify_one();
+      return PushOutcome::AcceptedShed;
+    }
+  }
+  return PushOutcome::RejectedShed;
+}
+
+std::shared_ptr<PendingRequest> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return nullptr;  // closed and drained
+  std::shared_ptr<PendingRequest> r = std::move(items_.front());
+  items_.pop_front();
+  return r;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace aalign::service

@@ -1,0 +1,99 @@
+// AlignService: the serving core of aalignd, independent of any
+// transport. It owns the database and scoring config, validates and
+// admits requests through a bounded RequestQueue (request_queue.h), and
+// executes them on BatchScheduler-backed searches with full cooperative
+// cancellation (core/cancel.h) - a request past its deadline or whose
+// client vanished stops consuming cores within one kernel stride-chunk
+// per worker.
+//
+// Degradation (docs/service.md): when the queue depth at dequeue time is
+// at or above `degrade_depth`, a request that allows it is served by the
+// int8-only fast path (ScoreWidth::W8 - the saturating narrow kernels,
+// several times cheaper than the adaptive ladder) and its response carries
+// degraded=true; scores may clip at the 8-bit rail. Un-degraded responses
+// are bit-identical to direct library search_many() calls (tested).
+//
+// Instrumentation (all through obs/): counters service.accepted /
+// service.rejected / service.shed / service.cancelled /
+// service.deadline_exceeded / service.degraded / service.completed,
+// histograms service.queue_depth / service.queue_wait_us /
+// service.latency_us.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "search/database_search.h"
+#include "seq/database.h"
+#include "service/request_queue.h"
+
+namespace aalign::service {
+
+struct ServiceOptions {
+  // Kernel/scheduling knobs of the exact path (top_k / keep_all_scores
+  // are managed per request by the service and ignored here).
+  search::SearchOptions search;
+
+  std::size_t queue_capacity = 64;  // waiting requests before shedding
+  std::size_t degrade_depth = 8;    // queue depth that turns on the int8
+                                    // fast path (0 = degrade always,
+                                    // > capacity = never)
+  int executors = 1;                // executor threads (each runs the
+                                    // internally-parallel scheduler)
+
+  // Request validation limits; violations produce structured errors.
+  std::size_t max_query_len = 100000;   // residues per query
+  std::size_t max_queries = 256;        // queries per request
+  std::size_t max_top_k = 10000;
+};
+
+class AlignService {
+ public:
+  // Takes ownership of the database (sorted longest-first once, here).
+  AlignService(const score::ScoreMatrix& matrix, AlignConfig cfg,
+               seq::Database db, ServiceOptions opt = {});
+  ~AlignService();  // implies shutdown()
+
+  AlignService(const AlignService&) = delete;
+  AlignService& operator=(const AlignService&) = delete;
+
+  // Validates and enqueues. Always returns a handle whose response can be
+  // waited on - validation failures and shed requests come back already
+  // completed with the structured error; nothing throws across this
+  // boundary. The caller may fire handle->cancel to abandon the request
+  // (client disconnect); the executor then completes it as `cancelled`.
+  std::shared_ptr<PendingRequest> submit(WireRequest req);
+
+  // Synchronous convenience: submit + wait.
+  WireResponse execute(WireRequest req);
+
+  // Drain-then-exit: stops admissions, lets executors finish every queued
+  // and in-flight request, joins them. Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::size_t queue_depth() const { return queue_.depth(); }
+  bool accepting() const { return !queue_.closed(); }
+  const seq::Database& database() const { return db_; }
+  const ServiceOptions& options() const { return opt_; }
+
+ private:
+  void executor_loop(int executor_id);
+  void run_request(int executor_id, PendingRequest& p);
+  // "" when valid, else the message for the InvalidRequest-family error
+  // (code through *code).
+  std::string validate(const WireRequest& req, ErrorCode* code) const;
+
+  const score::ScoreMatrix& matrix_;
+  AlignConfig cfg_;
+  ServiceOptions opt_;
+  seq::Database db_;
+  RequestQueue queue_;
+  std::vector<std::thread> executors_;
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace aalign::service

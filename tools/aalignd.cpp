@@ -1,0 +1,192 @@
+// aalignd: the alignment daemon. Serves query-vs-database protein search
+// over the newline-delimited JSON TCP protocol (docs/service.md) with
+// per-request deadlines, cooperative cancellation, overload shedding, and
+// load-based degradation to the int8 fast path.
+//
+// Usage:
+//   aalignd -d db.fasta [options]
+//   aalignd --demo-db 2000          # synthetic database
+//
+// Options:
+//   -d FILE            database FASTA
+//   --demo-db N        generate a synthetic database of N records
+//   --bind ADDR        listen address                   [127.0.0.1]
+//   --port N           listen port (0 = ephemeral)      [7731]
+//   --matrix NAME      blosum45|blosum62|blosum80|pam250  [blosum62]
+//   --open N / --ext N gap penalties                    [10 / 2]
+//   --threads N        alignment worker threads         [hardware]
+//   --executors N      concurrent request executors     [1]
+//   --queue-cap N      admission queue capacity         [64]
+//   --degrade-depth N  queue depth enabling int8 mode   [8]
+//   --max-query-len N  per-query residue limit          [100000]
+//   --metrics-json F   write an "aalign.run" v2 document on shutdown
+//
+// SIGTERM/SIGINT initiate drain-then-exit: the listener closes, every
+// queued and in-flight request completes and is answered, then the
+// process exits (writing the metrics document last).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/export.h"
+#include "seq/fasta.h"
+#include "seq/generator.h"
+#include "service/tcp.h"
+#include "simd/isa.h"
+
+using namespace aalign;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "aalignd: %s (try --help)\n", msg.c_str());
+  std::exit(2);
+}
+
+const score::ScoreMatrix& matrix_by_name(const std::string& name) {
+  if (name == "blosum62") return score::ScoreMatrix::blosum62();
+  if (name == "blosum45") return score::ScoreMatrix::blosum45();
+  if (name == "blosum80") return score::ScoreMatrix::blosum80();
+  if (name == "pam250") return score::ScoreMatrix::pam250();
+  die("unknown matrix '" + name + "'");
+}
+
+void print_help() {
+  std::printf(
+      "aalignd - alignment service daemon (see docs/service.md)\n"
+      "  aalignd -d db.fasta [options]\n"
+      "  aalignd --demo-db 2000\n\n"
+      "  --bind ADDR / --port N                       [127.0.0.1 / 7731]\n"
+      "  --matrix blosum45|blosum62|blosum80|pam250   [blosum62]\n"
+      "  --open N / --ext N                           [10 / 2]\n"
+      "  --threads N / --executors N                  [hardware / 1]\n"
+      "  --queue-cap N / --degrade-depth N            [64 / 8]\n"
+      "  --max-query-len N                            [100000]\n"
+      "  --metrics-json FILE  run document on shutdown\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  std::size_t demo_db = 0;
+  std::string matrix_name = "blosum62";
+  std::string metrics_json;
+  service::ServiceOptions sopt;
+  service::TcpServerOptions topt;
+  topt.port = 7731;
+  int open = 10, ext = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) die("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") {
+      print_help();
+      return 0;
+    } else if (a == "-d") {
+      db_path = next();
+    } else if (a == "--demo-db") {
+      demo_db = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--bind") {
+      topt.bind_addr = next();
+    } else if (a == "--port") {
+      topt.port = static_cast<std::uint16_t>(std::atoi(next().c_str()));
+    } else if (a == "--matrix") {
+      matrix_name = next();
+    } else if (a == "--open") {
+      open = std::atoi(next().c_str());
+    } else if (a == "--ext") {
+      ext = std::atoi(next().c_str());
+    } else if (a == "--threads") {
+      sopt.search.threads = std::atoi(next().c_str());
+    } else if (a == "--executors") {
+      sopt.executors = std::atoi(next().c_str());
+    } else if (a == "--queue-cap") {
+      sopt.queue_capacity =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--degrade-depth") {
+      sopt.degrade_depth =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--max-query-len") {
+      sopt.max_query_len =
+          static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--metrics-json") {
+      metrics_json = next();
+    } else {
+      die("unknown option '" + a + "'");
+    }
+  }
+  if (db_path.empty() && demo_db == 0) die("need -d FILE or --demo-db N");
+
+  const score::ScoreMatrix& matrix = matrix_by_name(matrix_name);
+  seq::Database db;
+  if (!db_path.empty()) {
+    db = seq::Database(matrix.alphabet(), seq::read_fasta_file(db_path));
+  } else {
+    seq::SequenceGenerator gen(42);
+    db = seq::Database(matrix.alphabet(),
+                       gen.protein_database(demo_db, 120.0, 0.6, 10, 400));
+  }
+
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(open, ext);
+  sopt.search.query.isa = simd::best_available_isa();
+
+  service::AlignService svc(matrix, cfg, std::move(db), sopt);
+  service::TcpServer server(svc, topt);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aalignd: %s\n", e.what());
+    return 1;
+  }
+  std::printf("aalignd: serving %zu subjects on %s:%u (isa %s)\n",
+              svc.database().size(), topt.bind_addr.c_str(),
+              static_cast<unsigned>(server.port()),
+              simd::isa_name(sopt.search.query.isa));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("aalignd: draining...\n");
+  std::fflush(stdout);
+  server.request_stop();
+  server.join();    // every connection finishes its in-flight request
+  svc.shutdown();   // executors drain whatever is still queued
+
+  if (!metrics_json.empty()) {
+    obs::RunMeta meta;
+    meta.tool = "aalignd";
+    meta.isa = simd::isa_name(sopt.search.query.isa);
+    meta.threads = sopt.search.threads;
+    const obs::Snapshot snap = obs::registry().snapshot();
+    obs::Json workload = obs::Json::object();
+    workload.set("subjects", svc.database().size());
+    workload.set("queue_capacity", sopt.queue_capacity);
+    workload.set("degrade_depth", sopt.degrade_depth);
+    const obs::Json doc =
+        obs::make_run_document(meta, std::move(workload), obs::Json(), &snap);
+    if (!obs::write_json_file(metrics_json, doc)) {
+      std::fprintf(stderr, "aalignd: cannot write %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+    std::printf("aalignd: wrote %s\n", metrics_json.c_str());
+  }
+  std::printf("aalignd: drained, exiting\n");
+  return 0;
+}

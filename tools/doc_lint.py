@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Documentation linter for the aalign repo (CI: the doc-lint job).
+
+Three checks, all against the working tree:
+
+  1. links    - every relative markdown link in the doc set resolves to an
+                existing file or directory (anchors and external URLs are
+                skipped).
+  2. coverage - every source file under src/*/ is mentioned by at least
+                one doc, so new code cannot land undocumented. A file
+                src/<layer>/<name>.<ext> counts as mentioned when any doc
+                contains "<name>.<ext>" or "<layer>/<name>"; a header and
+                its .cpp are one unit (mentioning either covers both).
+  3. compile  - fenced ```cpp blocks annotated with a
+                "<!-- doc-lint: compile -->" comment on the preceding
+                non-empty line must compile (g++ -std=c++20 -fsyntax-only
+                -I src), so API snippets in docs cannot rot.
+
+Exit status: 0 when clean, 1 with one line per finding otherwise.
+
+  python3 tools/doc_lint.py [--no-compile] [--extra FILE ...]
+
+--extra lints additional markdown files with the link check (used by the
+CI self-test, which feeds a deliberately broken doc and expects failure).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The doc set: curated markdown at the repo root plus everything in docs/.
+ROOT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+COMPILE_MARK = "<!-- doc-lint: compile -->"
+
+# Generated/vendored sources exempt from the coverage check (none today;
+# add paths relative to src/ as they appear).
+COVERAGE_EXEMPT = set()
+
+
+def doc_paths(extra):
+    docs = []
+    for name in ROOT_DOCS:
+        p = os.path.join(REPO, name)
+        if os.path.isfile(p):
+            docs.append(p)
+    docdir = os.path.join(REPO, "docs")
+    if os.path.isdir(docdir):
+        for name in sorted(os.listdir(docdir)):
+            if name.endswith(".md"):
+                docs.append(os.path.join(docdir, name))
+    docs.extend(os.path.abspath(e) for e in extra)
+    return docs
+
+
+def strip_code_blocks(text):
+    """Remove fenced code blocks so links/mentions inside them are literal
+    code, not doc structure. Mentions in code blocks DO count for
+    coverage, so this is used by the link check only."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(docs):
+    errors = []
+    for doc in docs:
+        with open(doc, encoding="utf-8") as f:
+            text = strip_code_blocks(f.read())
+        base = os.path.dirname(doc)
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(doc, REPO)
+                errors.append(f"{rel}: broken link -> {m.group(1)}")
+    return errors
+
+
+def check_coverage(docs):
+    corpus = ""
+    for doc in docs:
+        with open(doc, encoding="utf-8") as f:
+            corpus += f.read()
+
+    errors = []
+    srcdir = os.path.join(REPO, "src")
+    for layer in sorted(os.listdir(srcdir)):
+        layerdir = os.path.join(srcdir, layer)
+        if not os.path.isdir(layerdir):
+            continue
+        for name in sorted(os.listdir(layerdir)):
+            if not name.endswith((".h", ".cpp")):
+                continue
+            rel = f"{layer}/{name}"
+            if rel in COVERAGE_EXEMPT:
+                continue
+            stem = name.rsplit(".", 1)[0]
+            mentions = (
+                f"{stem}.h",
+                f"{stem}.cpp",
+                f"{layer}/{stem}",
+            )
+            if not any(tok in corpus for tok in mentions):
+                errors.append(
+                    f"src/{rel}: not mentioned by any doc "
+                    f"(looked for {', '.join(mentions)})"
+                )
+    return errors
+
+
+def extract_compile_snippets(doc):
+    """Yield (line_number, code) for each compile-marked ```cpp fence."""
+    with open(doc, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    snippets = []
+    marked = False
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == COMPILE_MARK:
+            marked = True
+        elif stripped:
+            m = FENCE_RE.match(lines[i])
+            if m and marked:
+                if m.group(1) not in ("cpp", "c++", "cc"):
+                    raise ValueError(
+                        f"{doc}:{i + 1}: {COMPILE_MARK} must precede a "
+                        f"```cpp fence, got ```{m.group(1)}"
+                    )
+                body = []
+                i += 1
+                while i < len(lines) and not FENCE_RE.match(lines[i]):
+                    body.append(lines[i])
+                    i += 1
+                snippets.append((i - len(body), "\n".join(body) + "\n"))
+            marked = False
+        i += 1
+    return snippets
+
+
+def check_compile(docs):
+    errors = []
+    compiler = os.environ.get("CXX", "g++")
+    for doc in docs:
+        try:
+            snippets = extract_compile_snippets(doc)
+        except ValueError as e:
+            errors.append(str(e))
+            continue
+        rel = os.path.relpath(doc, REPO)
+        for line, code in snippets:
+            with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False
+            ) as tmp:
+                tmp.write(code)
+                path = tmp.name
+            try:
+                proc = subprocess.run(
+                    [
+                        compiler,
+                        "-std=c++20",
+                        "-fsyntax-only",
+                        "-I",
+                        os.path.join(REPO, "src"),
+                        "-x",
+                        "c++",
+                        path,
+                    ],
+                    capture_output=True,
+                    text=True,
+                )
+                if proc.returncode != 0:
+                    first = proc.stderr.strip().splitlines()
+                    detail = first[0] if first else "compiler error"
+                    errors.append(
+                        f"{rel}:{line}: snippet does not compile: {detail}"
+                    )
+            finally:
+                os.unlink(path)
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--no-compile", action="store_true",
+                    help="skip the snippet compilation check")
+    ap.add_argument("--extra", nargs="*", default=[],
+                    help="additional markdown files to link-check")
+    args = ap.parse_args()
+
+    docs = doc_paths(args.extra)
+    errors = check_links(docs)
+    errors += check_coverage(docs)
+    if not args.no_compile:
+        errors += check_compile(docs)
+
+    for e in errors:
+        print(f"doc-lint: {e}", file=sys.stderr)
+    n_snip = "skipped" if args.no_compile else "checked"
+    print(
+        f"doc-lint: {len(docs)} docs, snippets {n_snip}: "
+        + ("OK" if not errors else f"{len(errors)} finding(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
