@@ -1,0 +1,26 @@
+/* Out-of-paradigm kernel: the subject-gap recurrence reaches two rows up
+ * (L[i-2][j]), which breaks the wavefront dependency structure the SIMD
+ * transformation relies on. aalignc --verify-only must report the bad
+ * dependency distance (AA030), the misshapen gap recurrence (AA032), and
+ * the resulting missing subject-gap recurrence (AA025) in one run. */
+const int GAP_OPEN = -12;
+const int GAP_EXT = -2;
+
+for (i = 0; i < n + 1; i++) {
+  T[i][0] = 0;
+  U[i][0] = 0;
+  L[i][0] = 0;
+}
+for (j = 0; j < m + 1; j++) {
+  T[0][j] = 0;
+  U[0][j] = 0;
+  L[0][j] = 0;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    L[i][j] = max(L[i - 2][j] + GAP_EXT, T[i - 1][j] + GAP_OPEN);
+    U[i][j] = max(U[i][j - 1] + GAP_EXT, T[i][j - 1] + GAP_OPEN);
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(0, L[i][j], U[i][j], D[i][j]);
+  }
+}

@@ -1,0 +1,27 @@
+/* Malformed gap recurrence: the subject-gap max carries a third,
+ * constant arm, so it matches neither the affine shape (Eqs. 3-4:
+ * max(L[prev]+EXT, T[prev]+FIRST)) nor the linear inline form
+ * (Eqs. 5-6). aalignc --verify-only must report the shape mismatch
+ * (AA032) and the missing subject-gap recurrence (AA025). */
+const int GAP_OPEN = -12;
+const int GAP_EXT = -2;
+const int FLOOR = -100;
+
+for (i = 0; i < n + 1; i++) {
+  T[i][0] = 0;
+  U[i][0] = 0;
+  L[i][0] = 0;
+}
+for (j = 0; j < m + 1; j++) {
+  T[0][j] = 0;
+  U[0][j] = 0;
+  L[0][j] = 0;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    L[i][j] = max(L[i - 1][j] + GAP_EXT, T[i - 1][j] + GAP_OPEN, FLOOR);
+    U[i][j] = max(U[i][j - 1] + GAP_EXT, T[i][j - 1] + GAP_OPEN);
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(0, L[i][j], U[i][j], D[i][j]);
+  }
+}

@@ -1,0 +1,29 @@
+/* Affine Smith-Waterman whose working-table max carries an extra inline
+ * query-axis arm (T[i][j-1] + GAP_JUMP) on top of the dedicated U
+ * recurrence: the query gap is then priced by two different (first,
+ * extend) weight pairs, so the weighted max-scan precondition (paper
+ * Fig. 8: a single weight pair along the query) fails. aalignc
+ * --verify-only must warn (AA035) and still exit 0; the emitters pin the
+ * kernel to striped-iterate. */
+const int GAP_OPEN = -12;
+const int GAP_EXT = -2;
+const int GAP_JUMP = -5;
+
+for (i = 0; i < n + 1; i++) {
+  T[i][0] = 0;
+  U[i][0] = 0;
+  L[i][0] = 0;
+}
+for (j = 0; j < m + 1; j++) {
+  T[0][j] = 0;
+  U[0][j] = 0;
+  L[0][j] = 0;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    L[i][j] = max(L[i - 1][j] + GAP_EXT, T[i - 1][j] + GAP_OPEN);
+    U[i][j] = max(U[i][j - 1] + GAP_EXT, T[i][j - 1] + GAP_OPEN);
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(0, L[i][j], U[i][j], D[i][j], T[i][j - 1] + GAP_JUMP);
+  }
+}

@@ -1,0 +1,24 @@
+/* Clean Smith-Waterman linear kernel plus a constant that nothing ever
+ * reads. aalignc --verify-only must report the unused constant (AA034)
+ * as a warning and still exit 0. */
+const int GAP = -4;
+const int UNUSED_BONUS = 7;
+
+for (i = 0; i < n + 1; i++) {
+  T[i][0] = 0;
+  U[i][0] = 0;
+  L[i][0] = 0;
+}
+for (j = 0; j < m + 1; j++) {
+  T[0][j] = 0;
+  U[0][j] = 0;
+  L[0][j] = 0;
+}
+for (i = 1; i < n + 1; i++) {
+  for (j = 1; j < m + 1; j++) {
+    L[i][j] = max(L[i - 1][j] + GAP, T[i - 1][j] + GAP);
+    U[i][j] = max(U[i][j - 1] + GAP, T[i][j - 1] + GAP);
+    D[i][j] = T[i - 1][j - 1] + BLOSUM62[ctoi(S[i - 1])][ctoi(Q[j - 1])];
+    T[i][j] = max(0, L[i][j], U[i][j], D[i][j]);
+  }
+}

@@ -10,8 +10,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "codegen/analyze.h"
 #include "codegen/emit.h"
+#include "codegen/sema.h"
 #include "core/aligner.h"
 #include "core/sequential.h"
 #include "seq/generator.h"
@@ -32,12 +32,15 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
 
-  // 1. Parse + analyze (the paper's AST traversal, Table II extraction).
+  // 1. Parse + verify (the paper's AST traversal, Table II extraction).
+  //    The diagnostic engine accumulates every violation in one run
+  //    instead of stopping at the first.
+  codegen::DiagnosticEngine diags;
+  const codegen::Program program = codegen::parse(buf.str(), diags);
   codegen::KernelSpec spec;
-  try {
-    spec = codegen::analyze_source(buf.str());
-  } catch (const codegen::CodegenError& e) {
-    std::fprintf(stderr, "paradigm violation: %s\n", e.what());
+  if (!diags.has_errors()) spec = codegen::verify(program, diags);
+  if (diags.has_errors()) {
+    std::fputs(diags.render(buf.str(), path).c_str(), stderr);
     return 1;
   }
   std::printf("=== extracted configuration (%s) ===\n%s\n", path.c_str(),

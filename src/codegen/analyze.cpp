@@ -1,102 +1,10 @@
 #include "codegen/analyze.h"
 
-#include <algorithm>
 #include <sstream>
 
+#include "codegen/sema.h"
+
 namespace aalign::codegen {
-
-namespace {
-
-// An Add flattened to: referenced cells + fully resolved constant part.
-struct FlatAdd {
-  std::vector<const Expr*> cells;
-  long const_sum = 0;
-  bool resolvable = true;  // false if it contains Mul/unknown idents
-};
-
-void flatten_into(const Expr& e, const std::map<std::string, long>& consts,
-                  long sign, FlatAdd& out) {
-  switch (e.kind) {
-    case Expr::Kind::Number:
-      out.const_sum += sign * e.number;
-      break;
-    case Expr::Kind::ConstRef: {
-      auto it = consts.find(e.name);
-      if (it == consts.end()) {
-        out.resolvable = false;
-      } else {
-        out.const_sum += sign * it->second;
-      }
-      break;
-    }
-    case Expr::Kind::Cell:
-      out.cells.push_back(&e);
-      break;
-    case Expr::Kind::Neg:
-      flatten_into(e.args[0], consts, -sign, out);
-      break;
-    case Expr::Kind::Add:
-      for (const Expr& a : e.args) flatten_into(a, consts, sign, out);
-      break;
-    case Expr::Kind::Mul:
-    case Expr::Kind::Max:
-      out.resolvable = false;
-      break;
-  }
-}
-
-FlatAdd flatten_add(const Expr& e, const std::map<std::string, long>& consts) {
-  FlatAdd out;
-  flatten_into(e, consts, 1, out);
-  return out;
-}
-
-// Offset of a 2-index cell relative to loop vars (outer, inner); returns
-// false when the subscripts use anything else.
-bool cell_offsets(const Expr& cell, const std::string& ov,
-                  const std::string& iv, long& dout, long& din) {
-  if (cell.kind != Expr::Kind::Cell || cell.index.size() != 2) return false;
-  const IndexRef& a = cell.index[0];
-  const IndexRef& b = cell.index[1];
-  if (!a.seq.empty() || !b.seq.empty()) return false;
-  if (a.var != ov || b.var != iv) return false;
-  dout = a.off;
-  din = b.off;
-  return true;
-}
-
-bool is_matrix_lookup(const Expr& cell) {
-  return cell.kind == Expr::Kind::Cell && cell.index.size() == 2 &&
-         !cell.index[0].seq.empty() && !cell.index[1].seq.empty();
-}
-
-// Finds the doubly nested compute loop.
-const ForLoop* find_compute_loop(const std::vector<ForLoop>& loops,
-                                 const ForLoop** inner_out) {
-  for (const ForLoop& outer : loops) {
-    for (const ForLoop& inner : outer.loops) {
-      if (!inner.assigns.empty()) {
-        *inner_out = &inner;
-        return &outer;
-      }
-    }
-    const ForLoop* rec_inner = nullptr;
-    const ForLoop* rec = find_compute_loop(outer.loops, &rec_inner);
-    if (rec != nullptr) {
-      *inner_out = rec_inner;
-      return rec;
-    }
-  }
-  return nullptr;
-}
-
-struct GapArm {
-  long ext_step = 0;    // additive value on the self-reference arm
-  long first_step = 0;  // additive value on the T-reference arm
-  std::string self_table;
-};
-
-}  // namespace
 
 AlignConfig KernelSpec::to_config() const {
   AlignConfig cfg;
@@ -123,201 +31,32 @@ std::string KernelSpec::summary() const {
   os << "working table  : " << table << "\n";
   os << "query sequence : " << query_seq << " (inner loop axis)\n";
   os << "subject seq    : " << subject_seq << " (outer loop axis)\n";
+  os << "scan eligible  : " << (scan_eligible ? "yes" : "no (striped-iterate only)")
+     << "\n";
   for (const std::string& w : warnings) os << "warning        : " << w << "\n";
   return os.str();
 }
 
 KernelSpec analyze(const Program& program) {
-  KernelSpec spec;
-
-  const ForLoop* inner = nullptr;
-  const ForLoop* outer = find_compute_loop(program.loops, &inner);
-  if (outer == nullptr) {
-    throw CodegenError(
-        "paradigm violation: no doubly nested loop with recurrences found");
-  }
-  const std::string& ov = outer->var;
-  const std::string& iv = inner->var;
-
-  // Pass 1: find the D recurrence (diagonal + substitution) - it pins down
-  // the working table, the matrix, and the sequence roles.
-  std::string d_table;
-  for (const Assign& a : inner->assigns) {
-    if (a.targets.size() != 1) continue;
-    const FlatAdd flat = flatten_add(a.value, program.consts);
-    if (a.value.kind != Expr::Kind::Max && flat.cells.size() == 2) {
-      const Expr* diag = nullptr;
-      const Expr* lookup = nullptr;
-      for (const Expr* c : flat.cells) {
-        long dout, din;
-        if (is_matrix_lookup(*c)) {
-          lookup = c;
-        } else if (cell_offsets(*c, ov, iv, dout, din) && dout == -1 &&
-                   din == -1) {
-          diag = c;
-        }
-      }
-      if (diag != nullptr && lookup != nullptr) {
-        d_table = a.targets[0].name;
-        spec.table = diag->name;
-        spec.matrix = lookup->name;
-        for (const IndexRef& ix : lookup->index) {
-          if (ix.var == iv) {
-            spec.query_seq = ix.seq;
-          } else if (ix.var == ov) {
-            spec.subject_seq = ix.seq;
-          }
-        }
-      }
-    }
-  }
-  if (spec.table.empty()) {
-    throw CodegenError(
-        "paradigm violation: no diagonal+substitution (D) recurrence found");
-  }
-  if (spec.query_seq.empty() || spec.subject_seq.empty()) {
-    throw CodegenError(
-        "paradigm violation: substitution lookup must index one sequence by "
-        "the inner loop variable and one by the outer");
-  }
-
-  // Pass 2: gap recurrences. X[.][.] = max(X[prev]+ext, T[prev]+first)
-  // where prev is (-1,0) on the outer axis (subject gap / L) or (0,-1) on
-  // the inner axis (query gap / U).
-  bool have_l = false, have_u = false;
-  std::string l_table, u_table;
-  auto classify_gap = [&](const Assign& a) {
-    if (a.targets.size() != 1 || a.value.kind != Expr::Kind::Max) return;
-    if (a.value.args.size() != 2) return;
-    const std::string& target = a.targets[0].name;
-    if (target == d_table || target == spec.table) return;
-
-    GapArm arm;
-    int matched = 0;
-    long axis_dout = 0, axis_din = 0;
-    for (const Expr& raw : a.value.args) {
-      const FlatAdd flat = flatten_add(raw, program.consts);
-      if (!flat.resolvable || flat.cells.size() != 1) return;
-      long dout, din;
-      if (!cell_offsets(*flat.cells[0], ov, iv, dout, din)) return;
-      if (!((dout == -1 && din == 0) || (dout == 0 && din == -1))) return;
-      const std::string& ref = flat.cells[0]->name;
-      if (ref == target) {
-        arm.ext_step = flat.const_sum;
-        arm.self_table = ref;
-      } else if (ref == spec.table) {
-        arm.first_step = flat.const_sum;
-      } else {
-        return;
-      }
-      axis_dout = dout;
-      axis_din = din;
-      ++matched;
-    }
-    if (matched != 2 || arm.self_table.empty()) return;
-
-    const long ext = -arm.ext_step;
-    const long open = -arm.first_step - ext;
-    if (ext <= 0 || open < 0) {
-      throw CodegenError("gap recurrence for '" + target +
-                             "' has non-penalty constants (extend must be "
-                             "negative, |first| >= |extend|)",
-                         a.line);
-    }
-    if (axis_dout == -1 && axis_din == 0) {
-      spec.open_subject = static_cast<int>(open);
-      spec.ext_subject = static_cast<int>(ext);
-      l_table = target;
-      have_l = true;
-    } else {
-      spec.open_query = static_cast<int>(open);
-      spec.ext_query = static_cast<int>(ext);
-      u_table = target;
-      have_u = true;
-    }
-  };
-  for (const Assign& a : inner->assigns) classify_gap(a);
-
-  // Pass 3: the working-table max. Detects local (literal 0 operand) and,
-  // for the inline linear form, the gap arms directly.
-  bool found_t_assign = false;
-  bool is_local = false;
-  for (const Assign& a : inner->assigns) {
-    if (a.targets.size() != 1 || a.targets[0].name != spec.table) continue;
-    if (a.value.kind != Expr::Kind::Max) continue;
-    found_t_assign = true;
-    for (const Expr& arg : a.value.args) {
-      if (arg.kind == Expr::Kind::Number && arg.number == 0) {
-        is_local = true;
-        continue;
-      }
-      const FlatAdd flat = flatten_add(arg, program.consts);
-      if (flat.cells.size() != 1 || !flat.resolvable) continue;
-      long dout, din;
-      if (!cell_offsets(*flat.cells[0], ov, iv, dout, din)) continue;
-      if (flat.cells[0]->name != spec.table) continue;
-      // Inline linear arm: T[prev] + GAP.
-      if (dout == -1 && din == 0 && !have_l) {
-        spec.open_subject = 0;
-        spec.ext_subject = static_cast<int>(-flat.const_sum);
-        have_l = true;
-      } else if (dout == 0 && din == -1 && !have_u) {
-        spec.open_query = 0;
-        spec.ext_query = static_cast<int>(-flat.const_sum);
-        have_u = true;
-      }
-    }
-  }
-  if (!found_t_assign) {
-    // The D-form `T = max(...)` may assign through D; accept T==D merges.
-    if (d_table != spec.table) {
-      throw CodegenError("paradigm violation: no max-assignment to table '" +
-                         spec.table + "' found");
-    }
-  }
-  if (!have_l || !have_u) {
-    throw CodegenError(
-        "paradigm violation: need both gap recurrences (along the query and "
-        "along the subject)");
-  }
-  spec.kind = is_local ? AlignKind::Local : AlignKind::Global;
-  spec.gap = (spec.open_query == 0 && spec.open_subject == 0)
-                 ? GapModel::Linear
-                 : GapModel::Affine;
-
-  // Pass 4 (lenient): boundary initialization consistency.
-  bool saw_zero_init = false, saw_gapped_init = false;
-  for (const ForLoop& loop : program.loops) {
-    if (&loop == outer) continue;
-    for (const Assign& a : loop.assigns) {
-      for (const Expr& t : a.targets) {
-        if (t.name != spec.table) continue;
-        if (a.value.kind == Expr::Kind::Number && a.value.number == 0) {
-          saw_zero_init = true;
-        } else {
-          saw_gapped_init = true;
-        }
-      }
-    }
-  }
-  if (spec.kind == AlignKind::Local && saw_gapped_init) {
-    spec.warnings.push_back(
-        "local alignment detected (0 in max) but boundary init is not zero");
-  }
-  if (spec.kind == AlignKind::Global && saw_zero_init && !saw_gapped_init) {
-    spec.warnings.push_back(
-        "global alignment detected but boundaries initialize to zero; "
-        "generated code uses the standard gapped NW boundary");
-  }
-
-  if (spec.ext_query == 0 || spec.ext_subject == 0) {
-    throw CodegenError("gap extend penalties must be non-zero");
+  DiagnosticEngine diags;
+  KernelSpec spec = verify(program, diags);
+  if (diags.has_errors()) {
+    throw CodegenError(diags.first_error());
   }
   return spec;
 }
 
 KernelSpec analyze_source(const std::string& source) {
-  return analyze(parse(source));
+  DiagnosticEngine diags;
+  const Program program = parse(source, diags);
+  KernelSpec spec;
+  if (!diags.has_errors()) {
+    spec = verify(program, diags);
+  }
+  if (diags.has_errors()) {
+    throw CodegenError(diags.first_error());
+  }
+  return spec;
 }
 
 }  // namespace aalign::codegen

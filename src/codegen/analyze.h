@@ -25,16 +25,22 @@ struct KernelSpec {
   std::string table;        // the working-set table (T)
   std::string query_seq;    // sequence indexed along the inner loop
   std::string subject_seq;  // sequence indexed along the outer loop
+  // False when the weighted max-scan precondition fails (AA035): the
+  // emitters then pin the kernel to striped-iterate.
+  bool scan_eligible = true;
   std::vector<std::string> warnings;
 
   AlignConfig to_config() const;
   std::string summary() const;
 };
 
-// Throws CodegenError when the program does not follow the paradigm.
+// Compatibility wrappers over verify() in sema.h: throw CodegenError
+// (carrying the first error diagnostic) when the program does not follow
+// the paradigm. Pass a DiagnosticEngine to verify() instead to collect
+// every violation in one run.
 KernelSpec analyze(const Program& program);
 
-// Convenience: parse + analyze.
+// Convenience: parse + verify with a shared engine.
 KernelSpec analyze_source(const std::string& source);
 
 }  // namespace aalign::codegen

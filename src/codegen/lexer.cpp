@@ -2,8 +2,6 @@
 
 #include <cctype>
 
-#include "codegen/parser.h"
-
 namespace aalign::codegen {
 
 const char* tok_name(Tok t) {
@@ -30,7 +28,7 @@ const char* tok_name(Tok t) {
   return "?";
 }
 
-std::vector<Token> lex(const std::string& source) {
+std::vector<Token> lex(const std::string& source, DiagnosticEngine& diags) {
   std::vector<Token> out;
   int line = 1, col = 1;
   std::size_t i = 0;
@@ -126,12 +124,23 @@ std::vector<Token> lex(const std::string& source) {
         }
         break;
       default:
-        throw CodegenError("unexpected character '" + std::string(1, c) +
-                               "'",
-                           line, col);
+        // Report and skip: later characters may hold independent errors.
+        diags.error("AA001", SourceSpan{line, col, 1},
+                    "unexpected character '" + std::string(1, c) + "'");
+        advance(1);
+        break;
     }
   }
   out.push_back(Token{Tok::End, "", 0, line, col});
+  return out;
+}
+
+std::vector<Token> lex(const std::string& source) {
+  DiagnosticEngine diags;
+  std::vector<Token> out = lex(source, diags);
+  if (diags.has_errors()) {
+    throw CodegenError(diags.first_error());
+  }
   return out;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "codegen/diagnostics.h"
+
 namespace aalign::codegen {
 
 enum class Tok : std::uint8_t {
@@ -43,7 +45,12 @@ struct Token {
   int col = 0;
 };
 
-// Throws CodegenError (see parser.h) on unknown characters.
+// Tokenizes `source`, reporting unknown characters as AA001 diagnostics and
+// skipping them, so one run surfaces every lexical problem. Always returns a
+// usable (End-terminated) token stream.
+std::vector<Token> lex(const std::string& source, DiagnosticEngine& diags);
+
+// Compatibility wrapper: throws CodegenError for the first diagnostic.
 std::vector<Token> lex(const std::string& source);
 
 const char* tok_name(Tok t);

@@ -12,17 +12,25 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::vector<Token> toks, DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
 
   Program run() {
     Program p;
     while (peek().kind != Tok::End) {
-      if (peek_ident("const")) {
-        parse_const(p);
-      } else if (peek_ident("for")) {
-        p.loops.push_back(parse_for());
-      } else {
-        p.top_assigns.push_back(parse_assign());
+      // Statement-level recovery: a malformed top-level item is reported
+      // and skipped; the next item may hold an independent error.
+      try {
+        if (peek_ident("const")) {
+          parse_const(p);
+        } else if (peek_ident("for")) {
+          p.loops.push_back(parse_for());
+        } else {
+          p.top_assigns.push_back(parse_assign());
+        }
+      } catch (const CodegenError& e) {
+        diags_.add(e.diagnostic());
+        synchronize(/*stop_at_rbrace=*/false);
       }
     }
     return p;
@@ -42,7 +50,7 @@ class Parser {
       throw CodegenError(std::string("expected ") + tok_name(kind) +
                              " while parsing " + what + ", found " +
                              tok_name(peek().kind),
-                         peek().line, peek().col);
+                         peek().line, peek().col, "AA002");
     }
     return next();
   }
@@ -50,21 +58,44 @@ class Parser {
     return expect(Tok::Ident, what).text;
   }
 
+  // Panic-mode synchronization: skip to just after the next ';' (or up to
+  // a closing '}' when recovering inside a block, so the block loop can
+  // close it). Guarantees progress - expect() throws without consuming.
+  void synchronize(bool stop_at_rbrace) {
+    while (peek().kind != Tok::End) {
+      if (peek().kind == Tok::Semi) {
+        next();
+        return;
+      }
+      if (peek().kind == Tok::RBrace) {
+        if (stop_at_rbrace) return;
+        next();
+        return;
+      }
+      next();
+    }
+  }
+
   void parse_const(Program& p) {
     next();  // const
     if (!peek_ident("int")) {
       throw CodegenError("expected 'int' after 'const'", peek().line,
-                         peek().col);
+                         peek().col, "AA003");
     }
     next();
-    const std::string name = expect_ident("const declaration");
+    const Token& name_tok = expect(Tok::Ident, "const declaration");
+    const std::string name = name_tok.text;
+    const SourceSpan span{name_tok.line, name_tok.col,
+                          static_cast<int>(name.size())};
     expect(Tok::Assign, "const declaration");
     const long value = parse_const_value(p);
     expect(Tok::Semi, "const declaration");
     p.consts[name] = value;
+    p.const_order.push_back(name);
+    p.const_spans[name] = span;
   }
 
-  long parse_const_value(const Program& p) {
+  long parse_const_value(Program& p) {
     long sign = 1;
     while (peek().kind == Tok::Minus) {
       next();
@@ -73,13 +104,16 @@ class Parser {
     if (peek().kind == Tok::Number) return sign * next().value;
     if (peek().kind == Tok::Ident) {
       const Token& t = next();
+      p.const_init_refs.push_back(t.text);
       auto it = p.consts.find(t.text);
       if (it == p.consts.end()) {
-        throw CodegenError("unknown constant '" + t.text + "'", t.line, t.col);
+        throw CodegenError("unknown constant '" + t.text + "'", t.line, t.col,
+                           "AA004");
       }
       return sign * it->second;
     }
-    throw CodegenError("expected constant value", peek().line, peek().col);
+    throw CodegenError("expected constant value", peek().line, peek().col,
+                       "AA005");
   }
 
   ForLoop parse_for() {
@@ -100,7 +134,7 @@ class Parser {
     const std::string cond_var = expect_ident("for-loop condition");
     if (cond_var != f.var) {
       throw CodegenError("for-loop condition must test '" + f.var + "'",
-                         peek().line, peek().col);
+                         peek().line, peek().col, "AA006");
     }
     if (peek().kind == Tok::LessEq) {
       f.inclusive = true;
@@ -124,7 +158,7 @@ class Parser {
     const std::string inc_var = expect_ident("for-loop increment");
     if (inc_var != f.var) {
       throw CodegenError("for-loop increment must be '" + f.var + "++'",
-                         peek().line, peek().col);
+                         peek().line, peek().col, "AA007");
     }
     expect(Tok::PlusPlus, "for-loop increment");
     expect(Tok::RParen, "for loop");
@@ -138,9 +172,17 @@ class Parser {
       next();
       while (peek().kind != Tok::RBrace) {
         if (peek().kind == Tok::End) {
-          throw CodegenError("unterminated '{'", peek().line, peek().col);
+          throw CodegenError("unterminated '{'", peek().line, peek().col,
+                             "AA008");
         }
-        parse_one_stmt(f);
+        // Per-statement recovery inside a block: keep scanning the block
+        // for further independent errors.
+        try {
+          parse_one_stmt(f);
+        } catch (const CodegenError& e) {
+          diags_.add(e.diagnostic());
+          synchronize(/*stop_at_rbrace=*/true);
+        }
       }
       next();
     } else {
@@ -192,6 +234,8 @@ class Parser {
   Expr parse_max() {
     Expr e;
     e.kind = Expr::Kind::Max;
+    e.line = peek().line;
+    e.col = peek().col;
     next();  // max
     expect(Tok::LParen, "max()");
     e.args.push_back(parse_expr());
@@ -211,6 +255,8 @@ class Parser {
       if (minus) {
         Expr neg;
         neg.kind = Expr::Kind::Neg;
+        neg.line = rhs.line;
+        neg.col = rhs.col;
         neg.args.push_back(std::move(rhs));
         rhs = std::move(neg);
       }
@@ -219,6 +265,8 @@ class Parser {
       } else {
         Expr add;
         add.kind = Expr::Kind::Add;
+        add.line = lhs.line;
+        add.col = lhs.col;
         add.args.push_back(std::move(lhs));
         add.args.push_back(std::move(rhs));
         lhs = std::move(add);
@@ -234,6 +282,8 @@ class Parser {
       Expr rhs = parse_factor();
       Expr mul;
       mul.kind = Expr::Kind::Mul;
+      mul.line = lhs.line;
+      mul.col = lhs.col;
       mul.args.push_back(std::move(lhs));
       mul.args.push_back(std::move(rhs));
       lhs = std::move(mul);
@@ -246,12 +296,16 @@ class Parser {
       next();
       Expr neg;
       neg.kind = Expr::Kind::Neg;
+      neg.line = peek().line;
+      neg.col = peek().col;
       neg.args.push_back(parse_factor());
       return neg;
     }
     if (peek().kind == Tok::Number) {
       Expr e;
       e.kind = Expr::Kind::Number;
+      e.line = peek().line;
+      e.col = peek().col;
       e.number = next().value;
       return e;
     }
@@ -260,6 +314,8 @@ class Parser {
       if (peek(1).kind == Tok::LBracket) return parse_cell();
       Expr e;
       e.kind = Expr::Kind::ConstRef;
+      e.line = peek().line;
+      e.col = peek().col;
       e.name = next().text;
       return e;
     }
@@ -269,12 +325,15 @@ class Parser {
       expect(Tok::RParen, "parenthesized expression");
       return e;
     }
-    throw CodegenError("expected expression", peek().line, peek().col);
+    throw CodegenError("expected expression", peek().line, peek().col,
+                       "AA011");
   }
 
   Expr parse_cell() {
     Expr e;
     e.kind = Expr::Kind::Cell;
+    e.line = peek().line;
+    e.col = peek().col;
     e.name = expect_ident("table reference");
     expect(Tok::LBracket, "subscript");
     e.index.push_back(parse_index());
@@ -318,7 +377,7 @@ class Parser {
         next();
         if (peek().kind != Tok::Number) {
           throw CodegenError("expected number after '-' in subscript",
-                             peek().line, peek().col);
+                             peek().line, peek().col, "AA009");
         }
         ix.off -= next().value;
         saw_any = true;
@@ -328,19 +387,29 @@ class Parser {
       if (peek().kind != Tok::Plus && peek().kind != Tok::Minus) break;
     }
     if (!saw_any) {
-      throw CodegenError("empty subscript", peek().line, peek().col);
+      throw CodegenError("empty subscript", peek().line, peek().col, "AA010");
     }
     return ix;
   }
 
   std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
+Program parse(const std::string& source, DiagnosticEngine& diags) {
+  return Parser(lex(source, diags), diags).run();
+}
+
 Program parse(const std::string& source) {
-  return Parser(lex(source)).run();
+  DiagnosticEngine diags;
+  Program p = parse(source, diags);
+  if (diags.has_errors()) {
+    throw CodegenError(diags.first_error());
+  }
+  return p;
 }
 
 }  // namespace aalign::codegen

@@ -22,22 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "codegen/diagnostics.h"  // CodegenError lives there now
 #include "codegen/lexer.h"
 
 namespace aalign::codegen {
-
-class CodegenError : public std::runtime_error {
- public:
-  CodegenError(const std::string& msg, int at_line = 0, int at_col = 0)
-      : std::runtime_error(at_line != 0
-                               ? msg + " (line " + std::to_string(at_line) +
-                                     ", col " + std::to_string(at_col) + ")"
-                               : msg),
-        line(at_line),
-        col(at_col) {}
-  int line;
-  int col;
-};
 
 // A subscript like [i-1], [0], or [ctoi(Q[j-1])].
 struct IndexRef {
@@ -53,8 +41,13 @@ struct Expr {
   std::string name;             // ConstRef ident or Cell table name
   std::vector<IndexRef> index;  // Cell subscripts
   std::vector<Expr> args;       // Add/Mul/Neg/Max children
+  int line = 0, col = 0;        // source span anchor (the leading token)
 
   bool is_cell(const std::string& table, long di, long dj) const;
+  SourceSpan span() const {
+    return SourceSpan{line, col, static_cast<int>(name.empty() ? 1
+                                                               : name.size())};
+  }
 };
 
 struct Assign {
@@ -76,10 +69,23 @@ struct ForLoop {
 
 struct Program {
   std::map<std::string, long> consts;
+  // Order of declaration plus every identifier referenced inside a const
+  // initializer (folded away at parse time otherwise) - the unused-constant
+  // analysis (AA034) needs both.
+  std::vector<std::string> const_order;
+  std::vector<std::string> const_init_refs;
+  std::map<std::string, SourceSpan> const_spans;
   std::vector<Assign> top_assigns;
   std::vector<ForLoop> loops;
 };
 
+// Parses with statement-level error recovery: a malformed statement is
+// reported into `diags` and skipped (synchronizing on ';' / '}'), so one
+// run surfaces every independent parse error. The returned Program holds
+// everything that parsed cleanly.
+Program parse(const std::string& source, DiagnosticEngine& diags);
+
+// Compatibility wrapper: throws CodegenError for the first error.
 Program parse(const std::string& source);
 
 }  // namespace aalign::codegen

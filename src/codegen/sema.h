@@ -1,0 +1,42 @@
+// Paradigm verification (paper Sec. V-D): checks that a parsed kernel fits
+// the generalized pairwise-alignment paradigm before any vector code is
+// emitted, reporting every violation into a DiagnosticEngine instead of
+// stopping at the first. The passes, in order:
+//
+//   1. constant discipline  - undeclared constants (AA033), unused
+//                             constants (AA034)
+//   2. loop shape           - a doubly nested recurrence loop must exist
+//                             (AA020)
+//   3. dependency distance  - every cell reference inside the compute loop
+//                             must be one of {i-1,j-1}, {i-1,j}, {i,j-1},
+//                             {i,j} (AA030, with a fix-it note), and every
+//                             subscript must be affine in the loop
+//                             variables with the [outer][inner] axis order
+//                             (AA031)
+//   4. Table II extraction  - the D / U / L recurrences and the working-
+//                             table max (AA021..AA026), gap-shape
+//                             classification against the affine (Eqs. 3-4)
+//                             and linear (Eqs. 5-6) forms (AA032), and the
+//                             boundary-initialization consistency warnings
+//                             (AA040, AA041)
+//   5. scan eligibility     - the weighted max-scan (Fig. 8) needs a single
+//                             (first, extend) weight pair along the query
+//                             axis; kernels expressing the query gap through
+//                             two different pairs get AA035 and are pinned
+//                             to striped-iterate
+//
+// verify() never throws: it reports and returns the best-effort KernelSpec
+// (callers must treat it as unusable when diags.has_errors()). The
+// throwing analyze()/analyze_source() wrappers in analyze.h are thin shims
+// over this.
+#pragma once
+
+#include "codegen/analyze.h"
+#include "codegen/diagnostics.h"
+#include "codegen/parser.h"
+
+namespace aalign::codegen {
+
+KernelSpec verify(const Program& program, DiagnosticEngine& diags);
+
+}  // namespace aalign::codegen

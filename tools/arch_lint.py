@@ -1,0 +1,422 @@
+#!/usr/bin/env python3
+"""Architecture linter for the aalign repo (CI: the lint job).
+
+Four checks, all against the working tree, all driven by the
+machine-readable blocks in docs/architecture.md ("Checked invariants") so
+the documentation and the linter cannot drift apart:
+
+  1. layer-dag    - #include "x/..." edges between src/ layers must follow
+                    the DAG declared in the <!-- arch-lint:layer-dag -->
+                    block (a layer may always include itself). Layers on
+                    disk and layers in the block must agree.
+  2. intrinsic    - raw x86 intrinsics (immintrin.h, _mm*, __m128/256/512)
+                    may appear only in src/simd/vec_*.h and
+                    src/util/saturate.h.
+  3. cancel-poll  - every file listed in the <!-- arch-lint:cancel-poll -->
+                    block must exist and contain a CancelToken poll
+                    (stop_requested / throw_cancelled).
+  4. metric       - every literal metric name registered through obs
+                    (counter("..."), histogram("..."), timer("...")) must
+                    match the naming regex and be documented in
+                    docs/observability.md (backtick spans; {a,b} brace
+                    groups expand, a trailing * is a prefix wildcard).
+                    Names assembled at runtime from a prefix are outside
+                    the literal scan.
+
+Deliberate violations live in tools/arch_lint_allow.txt, one
+"<key>  # justification" per line; entries without a justification and
+entries that no longer match anything are themselves findings.
+
+Exit status: 0 when clean, 1 with one line per finding otherwise.
+
+  python3 tools/arch_lint.py [--repo PATH] [--allowlist FILE] [--self-test]
+
+--self-test synthesizes a mini repo containing one injected violation per
+check and exits 0 only if the linter catches all of them.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+from lint_common import REPO as DEFAULT_REPO
+
+ARCH_DOC = os.path.join("docs", "architecture.md")
+OBS_DOC = os.path.join("docs", "observability.md")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([A-Za-z0-9_]+)/[^"]+"',
+                        re.MULTILINE)
+INTRIN_RE = re.compile(
+    r"\b_mm\d*\w*\s*\(|\bimmintrin\.h|\b__m(?:64|128|256|512)[di]?\b")
+METRIC_RE = re.compile(r'\b(?:counter|histogram|timer)\s*\(\s*"([^"]*)"')
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+BACKTICK_RE = re.compile(r"`([^`]+)`")
+CANCEL_POLL_TOKENS = ("stop_requested", "throw_cancelled")
+
+
+def iter_src_files(repo):
+    srcdir = os.path.join(repo, "src")
+    for layer in sorted(os.listdir(srcdir)):
+        layerdir = os.path.join(srcdir, layer)
+        if not os.path.isdir(layerdir):
+            continue
+        for name in sorted(os.listdir(layerdir)):
+            if name.endswith((".h", ".cpp")):
+                yield layer, name, os.path.join(layerdir, name)
+
+
+def read(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def parse_marked_block(text, marker, doc):
+    """Return the lines of the fenced block directly following `marker`."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if line.strip() != marker:
+            continue
+        j = i + 1
+        while j < len(lines) and not lines[j].startswith("```"):
+            if lines[j].strip():
+                raise ValueError(
+                    f"{doc}: {marker} must be followed by a fenced block")
+            j += 1
+        if j >= len(lines):
+            raise ValueError(f"{doc}: {marker} has no fenced block")
+        body = []
+        j += 1
+        while j < len(lines) and not lines[j].startswith("```"):
+            body.append(lines[j])
+            j += 1
+        if j >= len(lines):
+            raise ValueError(f"{doc}: unterminated fence after {marker}")
+        return [ln.strip() for ln in body if ln.strip()]
+    raise ValueError(f"{doc}: marker {marker} not found")
+
+
+def parse_layer_dag(block_lines, doc):
+    """'layer -> dep1, dep2' lines -> {layer: set(deps)}."""
+    dag = {}
+    for line in block_lines:
+        if "->" not in line:
+            raise ValueError(f"{doc}: bad layer-dag line: {line!r}")
+        layer, deps = line.split("->", 1)
+        layer = layer.strip()
+        dag[layer] = {d.strip() for d in deps.split(",") if d.strip()}
+    return dag
+
+
+# ---------------------------------------------------------------------------
+# Checks. Each returns a list of (key, message); `key` is the stable
+# identity an allowlist entry suppresses.
+# ---------------------------------------------------------------------------
+
+
+def check_layer_dag(repo, dag):
+    findings = []
+    disk = sorted(
+        d for d in os.listdir(os.path.join(repo, "src"))
+        if os.path.isdir(os.path.join(repo, "src", d)))
+    for layer in disk:
+        if layer not in dag:
+            findings.append((
+                f"layer-dag src/{layer}",
+                f"src/{layer}/ exists on disk but is missing from the "
+                f"layer-dag block in {ARCH_DOC}",
+            ))
+    for layer in dag:
+        if layer not in disk:
+            findings.append((
+                f"layer-dag src/{layer}",
+                f"layer '{layer}' is declared in {ARCH_DOC} but src/{layer}/ "
+                f"does not exist",
+            ))
+    for layer, name, path in iter_src_files(repo):
+        allowed = dag.get(layer, set())
+        for m in INCLUDE_RE.finditer(read(path)):
+            target = m.group(1)
+            if target == layer or target not in dag:
+                continue
+            if target not in allowed:
+                findings.append((
+                    f"layer-dag src/{layer}/{name} -> {target}",
+                    f"src/{layer}/{name}: includes \"{target}/...\" but the "
+                    f"declared DAG allows {layer} -> "
+                    f"{{{', '.join(sorted(allowed)) or ''}}}",
+                ))
+    return findings
+
+
+def intrinsics_allowed(layer, name):
+    if layer == "simd" and name.startswith("vec_") and name.endswith(".h"):
+        return True
+    return layer == "util" and name == "saturate.h"
+
+
+def check_intrinsics(repo):
+    findings = []
+    for layer, name, path in iter_src_files(repo):
+        if intrinsics_allowed(layer, name):
+            continue
+        for lineno, line in enumerate(read(path).splitlines(), 1):
+            if INTRIN_RE.search(line):
+                findings.append((
+                    f"intrinsic src/{layer}/{name}",
+                    f"src/{layer}/{name}:{lineno}: raw intrinsic outside "
+                    f"src/simd/vec_*.h / src/util/saturate.h: {line.strip()}",
+                ))
+                break  # one finding per file is enough
+    return findings
+
+
+def check_cancel_poll(repo, rel_files):
+    findings = []
+    for rel in rel_files:
+        path = os.path.join(repo, "src", rel)
+        if not os.path.isfile(path):
+            findings.append((
+                f"cancel-poll src/{rel}",
+                f"src/{rel}: listed in the cancel-poll block of {ARCH_DOC} "
+                f"but does not exist",
+            ))
+            continue
+        text = read(path)
+        if not any(tok in text for tok in CANCEL_POLL_TOKENS):
+            findings.append((
+                f"cancel-poll src/{rel}",
+                f"src/{rel}: no CancelToken poll "
+                f"({' / '.join(CANCEL_POLL_TOKENS)}) found",
+            ))
+    return findings
+
+
+def expand_braces(spec):
+    """'a.{b,c}.d' -> ['a.b.d', 'a.c.d'] (multiple groups expand too)."""
+    m = re.search(r"\{([^{}]*)\}", spec)
+    if not m:
+        return [spec]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(
+            expand_braces(spec[: m.start()] + alt.strip() + spec[m.end():]))
+    return out
+
+
+def documented_metric_names(obs_text):
+    """(exact names, wildcard prefixes) from backtick spans in the doc."""
+    exact, prefixes = set(), set()
+    for span in BACKTICK_RE.findall(obs_text):
+        for name in expand_braces(span):
+            if name.endswith("*"):
+                prefixes.add(name.rstrip("*").rstrip("."))
+            elif METRIC_NAME_RE.match(name):
+                exact.add(name)
+    return exact, prefixes
+
+
+def check_metrics(repo, obs_text):
+    exact, prefixes = documented_metric_names(obs_text)
+    findings = []
+    seen = set()
+    for layer, name, path in iter_src_files(repo):
+        for metric in METRIC_RE.findall(read(path)):
+            if metric in seen:
+                continue
+            seen.add(metric)
+            where = f"src/{layer}/{name}"
+            if not METRIC_NAME_RE.match(metric):
+                findings.append((
+                    f"metric {metric}",
+                    f"{where}: metric name '{metric}' does not match "
+                    f"{METRIC_NAME_RE.pattern}",
+                ))
+                continue
+            documented = metric in exact or any(
+                metric == p or metric.startswith(p + ".") for p in prefixes)
+            if not documented:
+                findings.append((
+                    f"metric {metric}",
+                    f"{where}: metric '{metric}' is not documented in "
+                    f"{OBS_DOC}",
+                ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Allowlist
+# ---------------------------------------------------------------------------
+
+
+def load_allowlist(path):
+    """{key: justification}; keys must carry a '# why' justification."""
+    entries, errors = {}, []
+    if path is None or not os.path.isfile(path):
+        return entries, errors
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, justification = line.partition("#")
+            key = key.strip()
+            justification = justification.strip()
+            if not justification:
+                errors.append(
+                    f"{os.path.basename(path)}:{lineno}: allowlist entry "
+                    f"'{key}' has no '# justification'")
+            entries[key] = justification
+    return entries, errors
+
+
+def run_checks(repo, allow_path):
+    errors = []
+    arch_text = read(os.path.join(repo, ARCH_DOC))
+    obs_text = read(os.path.join(repo, OBS_DOC))
+    try:
+        dag = parse_layer_dag(
+            parse_marked_block(arch_text, "<!-- arch-lint:layer-dag -->",
+                               ARCH_DOC), ARCH_DOC)
+        poll_files = parse_marked_block(
+            arch_text, "<!-- arch-lint:cancel-poll -->", ARCH_DOC)
+    except ValueError as e:
+        return [str(e)]
+
+    findings = []
+    findings += check_layer_dag(repo, dag)
+    findings += check_intrinsics(repo)
+    findings += check_cancel_poll(repo, poll_files)
+    findings += check_metrics(repo, obs_text)
+
+    allow, allow_errors = load_allowlist(allow_path)
+    errors += allow_errors
+    used = set()
+    for key, message in findings:
+        if key in allow:
+            used.add(key)
+        else:
+            errors.append(message)
+    for key in sorted(set(allow) - used):
+        errors.append(
+            f"allowlist entry '{key}' matches nothing - remove it "
+            f"(stale suppressions hide regressions)")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Self-test: a synthetic tree with one injected violation per check; the
+# linter must catch every one of them (the lint job runs this before
+# trusting the real result).
+# ---------------------------------------------------------------------------
+
+SELF_TEST_ARCH = """# mini architecture
+<!-- arch-lint:layer-dag -->
+```
+util   ->
+core   -> util
+search -> core, util
+obs    -> util
+```
+<!-- arch-lint:cancel-poll -->
+```
+core/kernels.h
+```
+"""
+
+SELF_TEST_OBS = "documented: `documented.name` and `phase.*`\n"
+
+SELF_TEST_FILES = {
+    # reverse edge: core may not include search.
+    "src/core/bad_include.h": '#include "search/pool.h"\n',
+    # raw intrinsic outside simd/vec_*.h.
+    "src/core/raw_simd.cpp": "void f() { __m256i x; (void)x; }\n",
+    # listed in cancel-poll but polls nothing.
+    "src/core/kernels.h": "inline void kernel() { /* no poll */ }\n",
+    # one bad name, one undocumented name, two fine ones.
+    "src/obs/use.cpp": (
+        'void g() { counter("BadName"); counter("undocumented.metric");'
+        ' counter("documented.name"); timer("phase.anything"); }\n'),
+    "src/search/pool.h": "inline void pool() {}\n",
+    "src/util/buf.h": "inline void buf() {}\n",
+}
+
+SELF_TEST_EXPECT = [
+    "layer-dag src/core/bad_include.h -> search",
+    "intrinsic src/core/raw_simd.cpp",
+    "cancel-poll src/core/kernels.h",
+    "metric BadName",
+    "metric undocumented.metric",
+]
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, content in SELF_TEST_FILES.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        os.makedirs(os.path.join(tmp, "docs"))
+        with open(os.path.join(tmp, ARCH_DOC), "w", encoding="utf-8") as f:
+            f.write(SELF_TEST_ARCH)
+        with open(os.path.join(tmp, OBS_DOC), "w", encoding="utf-8") as f:
+            f.write(SELF_TEST_OBS)
+
+        arch_text = read(os.path.join(tmp, ARCH_DOC))
+        dag = parse_layer_dag(
+            parse_marked_block(arch_text, "<!-- arch-lint:layer-dag -->",
+                               ARCH_DOC), ARCH_DOC)
+        poll = parse_marked_block(arch_text, "<!-- arch-lint:cancel-poll -->",
+                                  ARCH_DOC)
+        findings = []
+        findings += check_layer_dag(tmp, dag)
+        findings += check_intrinsics(tmp)
+        findings += check_cancel_poll(tmp, poll)
+        findings += check_metrics(tmp, read(os.path.join(tmp, OBS_DOC)))
+        keys = {k for k, _ in findings}
+
+        failures = [k for k in SELF_TEST_EXPECT if k not in keys]
+        unexpected = sorted(keys - set(SELF_TEST_EXPECT))
+        for k in failures:
+            print(f"arch-lint self-test: MISSED injected violation: {k}",
+                  file=sys.stderr)
+        for k in unexpected:
+            print(f"arch-lint self-test: unexpected finding: {k}",
+                  file=sys.stderr)
+        ok = not failures and not unexpected
+        print("arch-lint self-test: "
+              + ("OK" if ok else
+                 f"{len(failures)} missed, {len(unexpected)} unexpected"))
+        return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo", default=DEFAULT_REPO,
+                    help="repository root to lint")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/arch_lint_allow.txt"
+                         " under --repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter catches injected violations")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    allow_path = args.allowlist
+    if allow_path is None:
+        allow_path = os.path.join(args.repo, "tools", "arch_lint_allow.txt")
+
+    errors = run_checks(args.repo, allow_path)
+    for e in errors:
+        print(f"arch-lint: {e}", file=sys.stderr)
+    print("arch-lint: " + ("OK" if not errors else
+                           f"{len(errors)} finding(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

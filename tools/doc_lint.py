@@ -31,7 +31,7 @@ import subprocess
 import sys
 import tempfile
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+from lint_common import REPO, iter_src_files
 
 # The doc set: curated markdown at the repo root plus everything in docs/.
 ROOT_DOCS = [
@@ -107,28 +107,21 @@ def check_coverage(docs):
             corpus += f.read()
 
     errors = []
-    srcdir = os.path.join(REPO, "src")
-    for layer in sorted(os.listdir(srcdir)):
-        layerdir = os.path.join(srcdir, layer)
-        if not os.path.isdir(layerdir):
+    for layer, name, _path in iter_src_files():
+        rel = f"{layer}/{name}"
+        if rel in COVERAGE_EXEMPT:
             continue
-        for name in sorted(os.listdir(layerdir)):
-            if not name.endswith((".h", ".cpp")):
-                continue
-            rel = f"{layer}/{name}"
-            if rel in COVERAGE_EXEMPT:
-                continue
-            stem = name.rsplit(".", 1)[0]
-            mentions = (
-                f"{stem}.h",
-                f"{stem}.cpp",
-                f"{layer}/{stem}",
+        stem = name.rsplit(".", 1)[0]
+        mentions = (
+            f"{stem}.h",
+            f"{stem}.cpp",
+            f"{layer}/{stem}",
+        )
+        if not any(tok in corpus for tok in mentions):
+            errors.append(
+                f"src/{rel}: not mentioned by any doc "
+                f"(looked for {', '.join(mentions)})"
             )
-            if not any(tok in corpus for tok in mentions):
-                errors.append(
-                    f"src/{rel}: not mentioned by any doc "
-                    f"(looked for {', '.join(mentions)})"
-                )
     return errors
 
 

@@ -1,0 +1,35 @@
+"""Shared helpers for the repo linters (doc_lint.py, arch_lint.py).
+
+One source of truth for what counts as "the source tree": both linters
+walk src/<layer>/<file> the same way, so a file cannot be visible to one
+check and invisible to another.
+"""
+
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SRC_EXTS = (".h", ".cpp")
+
+
+def iter_src_files(repo=REPO, exts=SRC_EXTS):
+    """Yield (layer, name, abspath) for every source file under
+    src/<layer>/, in sorted order. `layer` is the directory name directly
+    under src/ and `name` the file name within it."""
+    srcdir = os.path.join(repo, "src")
+    for layer in sorted(os.listdir(srcdir)):
+        layerdir = os.path.join(srcdir, layer)
+        if not os.path.isdir(layerdir):
+            continue
+        for name in sorted(os.listdir(layerdir)):
+            if name.endswith(exts):
+                yield layer, name, os.path.join(layerdir, name)
+
+
+def src_layers(repo=REPO):
+    """Sorted list of layer directories under src/."""
+    srcdir = os.path.join(repo, "src")
+    return sorted(
+        d for d in os.listdir(srcdir)
+        if os.path.isdir(os.path.join(srcdir, d))
+    )
