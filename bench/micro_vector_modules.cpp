@@ -69,6 +69,23 @@ void bench_influence_test(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// The lazy-F carry scan (seg_scan_max wrapped with the segs*ext step):
+// per-column fixed cost of the deconstructed fixup. Compare against
+// InfluenceTest/RshiftXFill, which the legacy loop pays once per
+// corrective STEP - the fixup pays this once per COLUMN instead.
+template <class Ops>
+void bench_lazyf_carry_scan(benchmark::State& state) {
+  using T = typename Ops::value_type;
+  alignas(64) T buf[Ops::kWidth];
+  for (int l = 0; l < Ops::kWidth; ++l) buf[l] = static_cast<T>(40 - 3 * l);
+  auto v = Ops::load(buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aalign::simd::Modules<Ops>::lazyf_carry_scan(v, 16, T{-2}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 // The cross-lane shift and the re-computation gate: the two per-column
@@ -90,7 +107,15 @@ void bench_influence_test(benchmark::State& state) {
     }                                                                     \
     bench_influence_test<VecOps<T, TAG##Tag>>(state);                    \
   }                                                                       \
-  BENCHMARK(InfluenceTest_##NAME);
+  BENCHMARK(InfluenceTest_##NAME);                                        \
+  static void LazyFCarryScan_##NAME(benchmark::State& state) {            \
+    if (!isa_available(isa_kind<TAG##Tag>())) {                          \
+      state.SkipWithError(#TAG " unavailable");                          \
+      return;                                                             \
+    }                                                                     \
+    bench_lazyf_carry_scan<VecOps<T, TAG##Tag>>(state);                  \
+  }                                                                       \
+  BENCHMARK(LazyFCarryScan_##NAME);
 
 BENCH_PRIM(std::int32_t, Scalar, scalar_i32)
 #if defined(AALIGN_HAVE_SSE41)

@@ -61,8 +61,8 @@ class ColumnEngine {
   static constexpr int W = Ops::kWidth;
 
   ColumnEngine(const score::StripedProfile<T>& prof, Steps<T> st,
-               Workspace<T>& ws)
-      : prof_(prof), st_(st), segs_(prof.segs) {
+               Workspace<T>& ws, LazyF lazyf = LazyF::Fixup)
+      : prof_(prof), st_(st), segs_(prof.segs), lazyf_(lazyf) {
     ws.prepare(prof.padded_len());
     h_prev_ = ws.h_prev.data();
     h_cur_ = ws.h_cur.data();
@@ -133,8 +133,17 @@ class ColumnEngine {
       v_dia = Ops::load(h_prev_ + j * W);
     }
 
-    // Lazy-F correction (Alg. 2 ln. 30-41). Boundary-sourced F is already
-    // covered by the ramp seed, so vacated lanes fill with -inf.
+    if (lazyf_ == LazyF::Legacy)
+      return lazyf_legacy(v_f, v_ext_u, v_first_u);
+    return lazyf_fixup(v_f, v_ext_u, v_first_u);
+  }
+
+  // Legacy lazy-F correction (Alg. 2 ln. 30-41): iterate until
+  // influence_test proves convergence. Kept as the differential oracle for
+  // the fixup path and as an A/B benchmark baseline (LazyF::Legacy).
+  // Boundary-sourced F is already covered by the ramp seed, so vacated
+  // lanes fill with -inf.
+  int lazyf_legacy(reg v_f, reg v_ext_u, reg v_first_u) {
     const T kNegInf = simd::neg_inf<T>();
     int steps = 0;
     reg v_fc = M::rshift_x_fill(v_f, 1, kNegInf);
@@ -171,6 +180,54 @@ class ColumnEngine {
         }
         v_fc = M::rshift_x_fill(v_fc, 1, kNegInf);
       }
+    }
+    return steps;
+  }
+
+  // Deconstructed lazy-F correction (arXiv:1909.00899): the converged
+  // cross-lane carry is computed directly by one shifted max-scan over the
+  // per-lane F exits (M::lazyf_carry_scan), then applied in a single
+  // bounded sweep - worst case segs corrective steps instead of the retry
+  // loop's W * segs. The sweep extends the carry with ext only; re-opening
+  // from a fixup-raised H is dominated (gap_first <= gap_ext) and in the
+  // linear system restarting from H ties with extension, so H ends
+  // bit-identical to the legacy loop in both gap systems. E is left
+  // untouched, exactly like the legacy loop (the Farrar shortcut).
+  // The early exits are the legacy tests verbatim and skip only dominated
+  // updates.
+  int lazyf_fixup(reg v_f, reg v_ext_u, reg v_first_u) {
+    int depth = 0;
+    reg v_fc = M::lazyf_carry_scan(v_f, segs_, st_.ext_up, depth);
+    int steps = 0;
+    if constexpr (Affine) {
+      for (int j = 0; j < segs_; ++j) {
+        reg v_h = Ops::load(h_cur_ + j * W);
+        v_h = Ops::max(v_h, v_fc);
+        if constexpr (K == AlignKind::Local) v_max_ = Ops::max(v_max_, v_h);
+        Ops::store(h_cur_ + j * W, v_h);
+        ++steps;
+        const reg v_open = Ops::adds(v_h, v_first_u);
+        v_fc = Ops::adds(v_fc, v_ext_u);
+        if (!M::influence_test(v_fc, v_open)) break;
+      }
+    } else {
+      for (int j = 0; j < segs_; ++j) {
+        reg v_h = Ops::load(h_cur_ + j * W);
+        ++steps;
+        if (!M::influence_test(v_fc, v_h)) break;
+        v_h = Ops::max(v_h, v_fc);
+        if constexpr (K == AlignKind::Local) v_max_ = Ops::max(v_max_, v_h);
+        Ops::store(h_cur_ + j * W, v_h);
+        v_fc = Ops::adds(v_fc, v_ext_u);
+      }
+    }
+    ++fixup_cols_;
+    if (depth > 0) {
+      // The legacy loop spends about one full column pass per lane of
+      // carry propagation (plus the pass the fixup itself still runs).
+      const long est = (static_cast<long>(depth) + 1) * segs_;
+      if (est > steps)
+        saved_iters_ += static_cast<std::uint64_t>(est - steps);
     }
     return steps;
   }
@@ -307,6 +364,12 @@ class ColumnEngine {
   }
 
   int segs() const { return segs_; }
+  LazyF lazyf() const { return lazyf_; }
+
+  // Deconstructed lazy-F accounting, accumulated across every column this
+  // engine processed (kernel.lazyf.* counters; zero under LazyF::Legacy).
+  std::uint64_t fixup_cols() const { return fixup_cols_; }
+  std::uint64_t saved_iters() const { return saved_iters_; }
 
  private:
   void init_buffers() {
@@ -337,6 +400,9 @@ class ColumnEngine {
   const score::StripedProfile<T>& prof_;
   Steps<T> st_;
   int segs_;
+  LazyF lazyf_;
+  std::uint64_t fixup_cols_ = 0;
+  std::uint64_t saved_iters_ = 0;
   T* h_prev_;
   T* h_cur_;
   T* e_;

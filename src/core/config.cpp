@@ -41,6 +41,10 @@ const char* to_string(ScoreWidth w) {
   return "?";
 }
 
+const char* to_string(LazyF l) {
+  return l == LazyF::Fixup ? "fixup" : "legacy";
+}
+
 bool farrar_safe(const score::ScoreMatrix& m, const Penalties& p) {
   // Removing one query-gap character and one subject-gap character from an
   // adjacent insertion/deletion pair saves at most extend+extend (when both

@@ -62,10 +62,19 @@ enum class Strategy : std::uint8_t {
 
 enum class ScoreWidth : std::uint8_t { W8 = 1, W16 = 2, W32 = 4, Auto = 0 };
 
+// Lazy-F correction implementation inside striped-iterate (Alg. 2
+// ln. 30-41). Fixup is the deconstructed form (Snytsar, arXiv:1909.00899):
+// one shifted max-scan over the per-lane F exits plus one bounded
+// corrective sweep per column. Legacy is Farrar's iterate-until-converged
+// retry loop, kept as a differential oracle and an A/B benchmark baseline.
+// Both produce bit-identical H/E state.
+enum class LazyF : std::uint8_t { Fixup, Legacy };
+
 const char* to_string(AlignKind k);
 const char* to_string(GapModel g);
 const char* to_string(Strategy s);
 const char* to_string(ScoreWidth w);
+const char* to_string(LazyF l);
 
 struct GapScheme {
   int open = 10;    // theta: charged once when a gap starts
@@ -86,6 +95,7 @@ struct Penalties {
 struct AlignConfig {
   AlignKind kind = AlignKind::Local;
   Penalties pen = Penalties::symmetric(10, 2);
+  LazyF lazyf = LazyF::Fixup;
 
   GapModel gap_model() const {
     return (pen.query.linear() && pen.subject.linear()) ? GapModel::Linear
@@ -108,22 +118,36 @@ struct AlignConfig {
 // Runtime-switching parameters for the hybrid strategy (paper Sec. V-B).
 // The counter tracks lazy-F re-computation work in units of full extra
 // column passes (lazy vector steps / segs). The paper calibrates the
-// switch threshold to the iterate/scan crossover (~1.5x extra
-// re-computation on its MIC, ~2.5x on its CPU); on this repo's backends
-// the measured crossover sits near 1 extra pass per column (see
-// bench/ablate_hybrid_threshold), which is the default here.
+// switch threshold against the legacy convergence loop, whose counter is
+// unbounded (~1.5 extra passes at the crossover on its MIC, ~2.5 on its
+// CPU). Under the default LazyF::Fixup path the counter is capped at 1.0
+// - the corrective sweep is a single bounded pass - which compresses the
+// whole scale: re-measured with the fixup (bench/ablate_hybrid_threshold),
+// dissimilar inputs sit near 0.03-0.08 passes/column, high-identity
+// inputs near 0.73-0.84, and iterate beats scan across that entire range.
+// The re-derived default therefore sits just above the high-identity band:
+// only the degenerate regime where nearly every column runs a full-length
+// sweep (counter pinned at ~1.0, where scan's input-independent cost
+// finally wins) triggers the switch.
 struct HybridParams {
-  double threshold = 1.0;  // switch iterate->scan above this many passes
-  int window = 16;         // columns per decision epoch in iterate mode
-  int stride = 256;        // columns to stay in scan mode before probing
+  double threshold = 0.95;  // switch iterate->scan above this many passes
+  int window = 16;          // columns per decision epoch in iterate mode
+  int stride = 256;         // columns to stay in scan mode before probing
 };
 
 struct KernelStats {
   std::uint64_t columns = 0;
-  std::uint64_t lazy_steps = 0;       // lazy-F corrective vector steps
+  // Lazy-F corrective vector steps actually executed, whichever LazyF
+  // implementation ran (legacy: all retry-loop steps; fixup: the steps of
+  // its single bounded sweep). Accumulated once per column - never
+  // double-counted across driver chunks.
+  std::uint64_t lazy_steps = 0;
   std::uint64_t iterate_columns = 0;  // columns processed by striped-iterate
   std::uint64_t scan_columns = 0;     // columns processed by striped-scan
   std::uint64_t switches = 0;         // hybrid mode changes
+  // Deconstructed lazy-F accounting (LazyF::Fixup only):
+  std::uint64_t lazyf_fixup_cols = 0;   // columns corrected via the scan fixup
+  std::uint64_t lazyf_saved_iters = 0;  // est. legacy corrective steps avoided
 };
 
 struct KernelResult {

@@ -69,19 +69,19 @@ class EngineImpl final : public Engine<typename Ops::value_type> {
     switch (strategy) {
       case Strategy::StripedIterate:
         return run_striped_iterate<Ops, K, Affine>(profile, subject, st, ws,
-                                                   cancel);
+                                                   cfg.lazyf, cancel);
       case Strategy::StripedScan:
         return run_striped_scan<Ops, K, Affine>(profile, subject, st, ws,
                                                 cancel);
       case Strategy::Hybrid:
         return run_hybrid<Ops, K, Affine>(profile, subject, st, ws, hp,
-                                          cancel);
+                                          cfg.lazyf, cancel);
       case Strategy::Sequential:
         // Repurposed as the end-tracking sentinel (see run()); plain
         // sequential alignment lives in core/sequential and is never
         // dispatched through engines.
-        return run_striped_iterate_tracked<Ops, K, Affine>(profile, subject,
-                                                           st, ws, cancel);
+        return run_striped_iterate_tracked<Ops, K, Affine>(
+            profile, subject, st, ws, cfg.lazyf, cancel);
     }
     return {};
   }

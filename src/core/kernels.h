@@ -22,30 +22,39 @@
 
 namespace aalign::core {
 
+// Copies the engine's per-column lazy-F accounting into a result. One
+// call site per driver, always after the last column ran, so the counters
+// are engine totals - they cannot double-count across driver chunks.
+template <class Eng>
+void harvest_lazyf_stats(const Eng& eng, KernelResult& res) {
+  res.stats.lazyf_fixup_cols = eng.fixup_cols();
+  res.stats.lazyf_saved_iters = eng.saved_iters();
+}
+
 template <class Ops, AlignKind K, bool Affine>
 KernelResult run_striped_iterate(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws,
+    Workspace<typename Ops::value_type>& ws, LazyF lazyf = LazyF::Fixup,
     const CancelToken* cancel = nullptr) {
-  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws, lazyf);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
-  if (cancel == nullptr) {
-    res.stats.lazy_steps = eng.run_iterate_block(1, subject.data(), n);
-  } else {
-    for (long i = 1; i <= n; i += kCancelStrideColumns) {
-      if (cancel->stop_requested()) {
-        res.cancelled = true;
-        return res;
-      }
-      const long count = std::min(kCancelStrideColumns, n - i + 1);
-      res.stats.lazy_steps += eng.run_iterate_block(i, subject.data(), count);
+  // One accumulation per block for both the polled and unpolled shapes:
+  // lazy_steps is a plain sum over columns, never seeded separately by a
+  // first-column warmup.
+  for (long i = 1; i <= n; i += kCancelStrideColumns) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      res.cancelled = true;
+      return res;
     }
+    const long count = std::min(kCancelStrideColumns, n - i + 1);
+    res.stats.lazy_steps += eng.run_iterate_block(i, subject.data(), count);
   }
   res.stats.columns = n;
   res.stats.iterate_columns = n;
+  harvest_lazyf_stats(eng, res);
   res.score = eng.finalize();
   res.saturated = eng.saturated(res.score, n);
   return res;
@@ -90,9 +99,9 @@ KernelResult run_striped_iterate_tracked(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
-    Workspace<typename Ops::value_type>& ws,
+    Workspace<typename Ops::value_type>& ws, LazyF lazyf = LazyF::Fixup,
     const CancelToken* cancel = nullptr) {
-  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws, lazyf);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
   long best = 0;
@@ -114,6 +123,7 @@ KernelResult run_striped_iterate_tracked(
   }
   res.stats.columns = n;
   res.stats.iterate_columns = n;
+  harvest_lazyf_stats(eng, res);
   res.score = eng.finalize();
   res.saturated = eng.saturated(res.score, n);
   if constexpr (K != AlignKind::Local) res.subject_end = n;
@@ -124,15 +134,17 @@ KernelResult run_striped_iterate_tracked(
 // block, compare the lazy-F re-computation counter (normalized to full
 // column passes) against the threshold. Above it, run striped-scan for
 // `stride` columns whose cost is input-independent, then probe iterate
-// again.
+// again. Under LazyF::Fixup the counter is bounded by one extra pass per
+// column (the fixup sweep), so thresholds live in (0, 1) - see the
+// HybridParams re-derivation note and bench/ablate_hybrid_threshold.
 template <class Ops, AlignKind K, bool Affine>
 KernelResult run_hybrid(
     const score::StripedProfile<typename Ops::value_type>& prof,
     std::span<const std::uint8_t> subject,
     Steps<typename Ops::value_type> st,
     Workspace<typename Ops::value_type>& ws, const HybridParams& hp,
-    const CancelToken* cancel = nullptr) {
-  ColumnEngine<Ops, K, Affine> eng(prof, st, ws);
+    LazyF lazyf = LazyF::Fixup, const CancelToken* cancel = nullptr) {
+  ColumnEngine<Ops, K, Affine> eng(prof, st, ws, lazyf);
   KernelResult res;
   const long n = static_cast<long>(subject.size());
   const double segs = static_cast<double>(eng.segs());
@@ -192,6 +204,7 @@ KernelResult run_hybrid(
   }
   if (iterate_dwell > 0) dwell_iterate.record(iterate_dwell);
   res.stats.columns = n;
+  harvest_lazyf_stats(eng, res);
   res.score = eng.finalize();
   res.saturated = eng.saturated(res.score, n);
   return res;

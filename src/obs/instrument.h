@@ -5,7 +5,11 @@
 // search layers publish merged totals here, so every consumer (the CLI's
 // --metrics-json, the bench emitters, the CI gate) reads one namespace:
 //
-//   kernel.columns / kernel.lazy_steps          lazy-F correction passes
+//   kernel.columns / kernel.lazy_steps          lazy-F corrective steps run
+//   kernel.lazyf.fixup_cols                      columns corrected by the
+//                                                deconstructed scan fixup
+//   kernel.lazyf.saved_iters                     est. legacy retry steps the
+//                                                fixup avoided
 //   kernel.iterate_columns / kernel.scan_columns  strategy column mix
 //   hybrid.switches                              mode changes (Sec. V-B)
 //   search.align_calls / search.promotions       adaptive-width retries
@@ -32,6 +36,8 @@ inline void record_kernel_stats(const KernelStats& stats) {
   r.counter("kernel.lazy_steps").add(stats.lazy_steps);
   r.counter("kernel.iterate_columns").add(stats.iterate_columns);
   r.counter("kernel.scan_columns").add(stats.scan_columns);
+  r.counter("kernel.lazyf.fixup_cols").add(stats.lazyf_fixup_cols);
+  r.counter("kernel.lazyf.saved_iters").add(stats.lazyf_saved_iters);
   r.counter("hybrid.switches").add(stats.switches);
 }
 

@@ -261,6 +261,8 @@ std::vector<SearchResult> BatchScheduler::run(
           acc.promotions += static_cast<std::uint64_t>(ar.promotions);
           acc.stats.columns += ar.kernel.stats.columns;
           acc.stats.lazy_steps += ar.kernel.stats.lazy_steps;
+          acc.stats.lazyf_fixup_cols += ar.kernel.stats.lazyf_fixup_cols;
+          acc.stats.lazyf_saved_iters += ar.kernel.stats.lazyf_saved_iters;
           acc.stats.iterate_columns += ar.kernel.stats.iterate_columns;
           acc.stats.scan_columns += ar.kernel.stats.scan_columns;
           acc.stats.switches += ar.kernel.stats.switches;
@@ -289,6 +291,8 @@ std::vector<SearchResult> BatchScheduler::run(
       res.promotions += acc.promotions;
       res.stats.columns += acc.stats.columns;
       res.stats.lazy_steps += acc.stats.lazy_steps;
+      res.stats.lazyf_fixup_cols += acc.stats.lazyf_fixup_cols;
+      res.stats.lazyf_saved_iters += acc.stats.lazyf_saved_iters;
       res.stats.iterate_columns += acc.stats.iterate_columns;
       res.stats.scan_columns += acc.stats.scan_columns;
       res.stats.switches += acc.stats.switches;

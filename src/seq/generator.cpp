@@ -53,6 +53,41 @@ Sequence SequenceGenerator::dna(std::size_t len, std::string id) {
   return s;
 }
 
+Sequence SequenceGenerator::adversarial_subject(const Sequence& query,
+                                                const AdversarialSpec& spec,
+                                                std::string id) {
+  static const std::discrete_distribution<int> bg(kAaFreq.begin(),
+                                                  kAaFreq.end());
+  std::discrete_distribution<int> residue = bg;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> gap_len(spec.min_gap,
+                                                     spec.max_gap);
+  Sequence s;
+  s.id = id.empty() ? query.id + "-adv" : std::move(id);
+  s.residues.reserve(query.residues.size() + spec.max_gap);
+  std::size_t i = 0;
+  while (i < query.residues.size()) {
+    if (coin(rng_) < spec.gap_rate) {
+      const std::size_t len = gap_len(rng_);
+      if (coin(rng_) < 0.5) {
+        // Insertion: subject-only residues (query gap - drives F).
+        for (std::size_t g = 0; g < len; ++g)
+          s.residues.push_back(kAaLetters[residue(rng_)]);
+      } else {
+        // Deletion: skip query residues (subject gap - drives E).
+        i = std::min(query.residues.size(), i + len);
+      }
+      continue;
+    }
+    s.residues.push_back(coin(rng_) < spec.identity
+                             ? query.residues[i]
+                             : kAaLetters[residue(rng_)]);
+    ++i;
+  }
+  if (s.residues.empty()) s.residues.push_back(kAaLetters[residue(rng_)]);
+  return s;
+}
+
 std::vector<Sequence> SequenceGenerator::protein_database(
     std::size_t count, double median_len, double sigma, std::size_t min_len,
     std::size_t max_len) {

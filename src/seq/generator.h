@@ -15,6 +15,19 @@
 
 namespace aalign::seq {
 
+// Lazy-F adversary parameters (SequenceGenerator::adversarial_subject):
+// high identity keeps H large everywhere, so every long indel run forces
+// the up-gap register F to carry across many stripe lanes - the worst
+// case for the legacy iterate-until-converged loop (paper Fig. 10's
+// "similar input" regime, sharpened). Defaults reproduce the bench_lazyf
+// and CI headline workload.
+struct AdversarialSpec {
+  double identity = 0.97;    // copy probability per non-gap position
+  double gap_rate = 0.01;    // probability a gap opens at each position
+  std::size_t min_gap = 16;  // indel length drawn uniformly from
+  std::size_t max_gap = 64;  // [min_gap, max_gap]
+};
+
 class SequenceGenerator {
  public:
   explicit SequenceGenerator(std::uint64_t seed = 0x5eedf00d)
@@ -34,6 +47,13 @@ class SequenceGenerator {
                                          double sigma = 0.55,
                                          std::size_t min_len = 30,
                                          std::size_t max_len = 5000);
+
+  // Subject sequence for the adversarial lazy-F workload (AdversarialSpec
+  // above). Length tracks the query's (insertions and deletions balance
+  // in expectation).
+  Sequence adversarial_subject(const Sequence& query,
+                               const AdversarialSpec& spec = {},
+                               std::string id = "");
 
   std::mt19937_64& rng() { return rng_; }
 

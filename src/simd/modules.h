@@ -113,6 +113,56 @@ struct Modules {
   // striped-iterate re-computation gate.
   static bool influence_test(reg va, reg vb) { return Ops::any_gt(va, vb); }
 
+  // --- lazy-F carry scan (deconstructed lazy-F loop) ----------------------
+  //
+  // Snytsar ("De(con)struction of the lazy-F loop", arXiv:1909.00899): the
+  // converged cross-lane F carry of a striped-iterate column is itself a
+  // weighted max-scan, so the data-dependent retry loop can be replaced by
+  // one bounded fixup sweep. Lane l of v_exit holds the F value EXITING
+  // lane l's chunk after the first vertical pass; the carry ENTERING lane
+  // l's chunk is then
+  //   fin[0] = -inf;  fin[l] = max(exit[l-1], fin[l-1] + segs*gap_ext)
+  // - an exclusive shifted max-scan with stride weight segs*gap_ext, the
+  // same cross-lane recurrence as wgt_max_scan's phase 2, provided by each
+  // backend as seg_scan_max. One corrective sweep seeded with fin finishes
+  // the column: re-opening F from a fixup-raised H is dominated because
+  // gap_first <= gap_ext (both negative), which is exactly the legacy
+  // loop's convergence argument, so H converges bit-identically.
+  static reg lazyf_carry_scan(reg v_exit, int segs, T gap_ext) {
+    return Ops::seg_scan_max(
+        v_exit, static_cast<long>(segs) * static_cast<long>(gap_ext),
+        neg_inf<T>());
+  }
+
+  // Overload reporting a carry-depth estimate: the longest run of lanes
+  // the winning carry propagated through. The legacy loop needs roughly
+  // one extra column pass per lane of propagation, so depth feeds the
+  // kernel.lazyf.saved_iters accounting (ties and saturated lanes may
+  // overcount - it is an estimate, not an invariant).
+  static reg lazyf_carry_scan(reg v_exit, int segs, T gap_ext,
+                              int& depth_out) {
+    const long seg_step =
+        static_cast<long>(segs) * static_cast<long>(gap_ext);
+    const reg fin = Ops::seg_scan_max(v_exit, seg_step, neg_inf<T>());
+    alignas(64) T f[kWidth];
+    Ops::to_array(fin, f);
+    const T kNegInf = neg_inf<T>();
+    int depth = 0;
+    int run = 0;
+    for (int l = 1; l < kWidth; ++l) {
+      long ext = static_cast<long>(f[l - 1]) + seg_step;
+      if constexpr (sizeof(T) < 4) {
+        if (ext < std::numeric_limits<T>::min())
+          ext = std::numeric_limits<T>::min();
+      }
+      const bool carried = f[l] > kNegInf && static_cast<long>(f[l]) == ext;
+      run = carried ? run + 1 : 0;
+      if (run > depth) depth = run;
+    }
+    depth_out = depth;
+    return fin;
+  }
+
   // Horizontal max; cold path (once per alignment).
   static T hmax(reg v) {
     alignas(64) T tmp[kWidth];

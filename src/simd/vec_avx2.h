@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "simd/isa.h"
+#include "simd/vec_scalar.h"  // detail::seg_scan_max_lanes
 
 namespace aalign::simd {
 
@@ -60,6 +61,16 @@ struct VecOps<std::int8_t, Avx2Tag> {
     const reg t = _mm256_permute2x128_si256(v, v, 0x08);
     reg r = _mm256_alignr_epi8(v, t, 15);
     return _mm256_insert_epi8(r, fill, 0);
+  }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry): saturating
+  // lanes spill and run the scalar core - per-step stride weights can
+  // exceed the 8-bit range, which the wide scalar carry handles exactly.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(32) value_type a[kWidth];
+    alignas(32) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
   }
   // In-register 32-entry table lookup (indices 0..31, bit 7 clear; `row`
   // 64-byte aligned): pshufb only sees 16-byte windows, so both table
@@ -117,6 +128,15 @@ struct VecOps<std::int16_t, Avx2Tag> {
     reg r = _mm256_alignr_epi8(v, t, 14);
     return _mm256_insert_epi16(r, fill, 0);
   }
+  // See the int8 specialization: spilled scalar scan keeps the saturating
+  // stepwise semantics exact for out-of-range stride weights.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(32) value_type a[kWidth];
+    alignas(32) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
+  }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
   }
@@ -153,6 +173,34 @@ struct VecOps<std::int32_t, Avx2Tag> {
     const reg idx = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
     const reg r = _mm256_permutevar8x32_epi32(v, idx);
     return _mm256_blend_epi32(r, _mm256_set1_epi32(fill), 0x01);
+  }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry), in-register:
+  // log2(8) Kogge-Stone rounds over the (max, +) semiring, lane shifts via
+  // the same cross-lane permutevar8x32 as shift_insert. Plain 32-bit adds
+  // are associative, so the tree evaluates the same
+  // max_d(v[l-1-d] + d*step) as the serial recurrence, exactly.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    const reg vfill = _mm256_set1_epi32(fill);
+    const reg i1 = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+    const reg i2 = _mm256_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5);
+    const reg i4 = _mm256_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3);
+    reg s = shift_insert(v, fill);
+    reg t = _mm256_blend_epi32(
+        _mm256_add_epi32(_mm256_permutevar8x32_epi32(s, i1),
+                         _mm256_set1_epi32(static_cast<value_type>(step))),
+        vfill, 0x01);
+    s = _mm256_max_epi32(s, t);
+    t = _mm256_blend_epi32(
+        _mm256_add_epi32(_mm256_permutevar8x32_epi32(s, i2),
+                         _mm256_set1_epi32(static_cast<value_type>(2 * step))),
+        vfill, 0x03);
+    s = _mm256_max_epi32(s, t);
+    t = _mm256_blend_epi32(
+        _mm256_add_epi32(_mm256_permutevar8x32_epi32(s, i4),
+                         _mm256_set1_epi32(static_cast<value_type>(4 * step))),
+        vfill, 0x0F);
+    s = _mm256_max_epi32(s, t);
+    return s;
   }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);

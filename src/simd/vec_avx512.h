@@ -58,6 +58,35 @@ struct VecOps<std::int32_t, Avx512Tag> {
     const reg r = _mm512_permutexvar_epi32(idx, v);
     return _mm512_mask_mov_epi32(r, __mmask16(1), _mm512_set1_epi32(fill));
   }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry), in-register:
+  // log2(16) Kogge-Stone rounds over the (max, +) semiring - each round
+  // folds in candidates 2^r lanes back, weighted by 2^r * step, with the
+  // vacated low lanes masked to the absorbing fill. Plain 32-bit adds are
+  // associative, so the tree evaluates the same max_d(v[l-1-d] + d*step)
+  // as the serial recurrence, exactly. IMCI would spell each round
+  // permutevar + masked blend - the same shape as shift_insert.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    const reg vfill = _mm512_set1_epi32(fill);
+    reg s = shift_insert(v, fill);
+    const auto round = [&](reg idx, __mmask16 low, long w) {
+      const reg t = _mm512_mask_mov_epi32(
+          _mm512_add_epi32(_mm512_permutexvar_epi32(idx, s),
+                           _mm512_set1_epi32(static_cast<value_type>(w))),
+          low, vfill);
+      s = _mm512_max_epi32(s, t);
+    };
+    round(_mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                            14),
+          __mmask16(0x0001), step);
+    round(_mm512_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                            13),
+          __mmask16(0x0003), 2 * step);
+    round(_mm512_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+          __mmask16(0x000F), 4 * step);
+    round(_mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7),
+          __mmask16(0x00FF), 8 * step);
+    return s;
+  }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
   static reg gather(const value_type* base, reg idx) {

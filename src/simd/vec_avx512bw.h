@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "simd/isa.h"
+#include "simd/vec_scalar.h"  // detail::seg_scan_max_lanes
 
 namespace aalign::simd {
 
@@ -66,6 +67,17 @@ struct VecOps<std::int8_t, Avx512BwTag> {
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry): saturating
+  // lanes spill and run the scalar core - per-step stride weights can
+  // exceed the 8-bit range, which the wide scalar carry handles exactly
+  // (a Kogge-Stone tree could not represent its 2^r-weighted steps).
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(64) value_type a[kWidth];
+    alignas(64) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
+  }
 };
 
 template <>
@@ -104,6 +116,15 @@ struct VecOps<std::int16_t, Avx512BwTag> {
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
+  // See the int8 specialization: spilled scalar scan keeps the saturating
+  // stepwise semantics exact for out-of-range stride weights.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(64) value_type a[kWidth];
+    alignas(64) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
+  }
 };
 
 template <>
@@ -130,6 +151,32 @@ struct VecOps<std::int32_t, Avx512BwTag> {
                                       12, 13, 14);
     const reg r = _mm512_permutexvar_epi32(idx, v);
     return _mm512_mask_mov_epi32(r, __mmask16{1}, _mm512_set1_epi32(fill));
+  }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry), in-register:
+  // log2(16) Kogge-Stone rounds over the (max, +) semiring; see
+  // vec_avx512.h for the derivation. Plain 32-bit adds keep the tree exact
+  // against the serial recurrence.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    const reg vfill = _mm512_set1_epi32(fill);
+    reg s = shift_insert(v, fill);
+    const auto round = [&](reg idx, __mmask16 low, long w) {
+      const reg t = _mm512_mask_mov_epi32(
+          _mm512_add_epi32(_mm512_permutexvar_epi32(idx, s),
+                           _mm512_set1_epi32(static_cast<value_type>(w))),
+          low, vfill);
+      s = _mm512_max_epi32(s, t);
+    };
+    round(_mm512_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                            14),
+          __mmask16(0x0001), step);
+    round(_mm512_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                            13),
+          __mmask16(0x0003), 2 * step);
+    round(_mm512_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11),
+          __mmask16(0x000F), 4 * step);
+    round(_mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7),
+          __mmask16(0x00FF), 8 * step);
+    return s;
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }

@@ -15,16 +15,53 @@
 //   shift_insert    : lane l -> lane l+1, lane 0 = fill (the paper's
 //                     rshift_x_fill with n = 1; "right" is in element-index
 //                     order, i.e. a byte-wise left shift of the register)
+//   seg_scan_max(v, step, fill) : exclusive shifted max-scan across lanes,
+//                     out[0] = fill; out[l] = max(v[l-1], out[l-1] (+) step)
+//                     where (+) matches adds' semantics (saturating for
+//                     8/16-bit lanes, plain for 32-bit). `step` is passed
+//                     wide so segment strides beyond the lane range behave
+//                     exactly like repeated saturating adds would. This is
+//                     the cross-lane carry of the deconstructed lazy-F
+//                     fixup (simd/modules.h, lazyf_carry_scan).
 //   to_array/from_array : unaligned spills used by cold generic paths
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 #include "simd/isa.h"
 #include "util/saturate.h"
 
 namespace aalign::simd {
+
+namespace detail {
+
+// Shared scalar core of seg_scan_max (see the contract above), over a
+// spilled register image. The carry is widened to long and re-clamped per
+// step exactly as a chain of saturating `adds` would behave, so hardware
+// backends that spill to memory (cross-lane scans have no SSE/AVX2
+// instruction at lane granularity) stay bit-compatible with in-register
+// stepwise evaluation. 32-bit lanes use plain adds in the kernels, so no
+// per-step clamp is applied - range discipline is the caller's, as
+// everywhere else at that width.
+template <class T, int W>
+inline void seg_scan_max_lanes(const T* in, T* out, long step, T fill) {
+  long carry = fill;
+  out[0] = fill;
+  for (int l = 1; l < W; ++l) {
+    long ext = carry + step;
+    if constexpr (sizeof(T) < 4) {
+      if (ext < std::numeric_limits<T>::min()) ext = std::numeric_limits<T>::min();
+      if (ext > std::numeric_limits<T>::max()) ext = std::numeric_limits<T>::max();
+    }
+    carry = static_cast<long>(in[l - 1]) > ext ? static_cast<long>(in[l - 1])
+                                               : ext;
+    out[l] = static_cast<T>(carry);
+  }
+}
+
+}  // namespace detail
 
 template <class T, class Isa>
 struct VecOps;  // primary template intentionally undefined
@@ -96,6 +133,14 @@ struct VecOps<T, ScalarTag> {
     reg r;
     r.lane[0] = fill;
     for (int l = 1; l < kWidth; ++l) r.lane[l] = v.lane[l - 1];
+    return r;
+  }
+
+  // Exclusive shifted max-scan (the deconstructed lazy-F carry); the
+  // semantic reference for the hardware implementations.
+  static reg seg_scan_max(reg v, long step, T fill) {
+    reg r;
+    detail::seg_scan_max_lanes<T, kWidth>(v.lane, r.lane, step, fill);
     return r;
   }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "simd/isa.h"
+#include "simd/vec_scalar.h"  // detail::seg_scan_max_lanes
 
 namespace aalign::simd {
 
@@ -45,6 +46,16 @@ struct VecOps<std::int8_t, Sse41Tag> {
   static reg shift_insert(reg v, value_type fill) {
     reg r = _mm_slli_si128(v, 1);  // byte left-shift = lane l -> l+1
     return _mm_insert_epi8(r, fill, 0);
+  }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry): saturating
+  // lanes spill and run the scalar core - per-step stride weights can
+  // exceed the 8-bit range, which the wide scalar carry handles exactly.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(16) value_type a[kWidth];
+    alignas(16) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
   }
   // In-register 32-entry table lookup (indices 0..31, bit 7 clear; `row`
   // 64-byte aligned): two pshufbs over the 16-entry halves, blended on
@@ -94,6 +105,15 @@ struct VecOps<std::int16_t, Sse41Tag> {
     reg r = _mm_slli_si128(v, 2);
     return _mm_insert_epi16(r, fill, 0);
   }
+  // See the int8 specialization: spilled scalar scan keeps the saturating
+  // stepwise semantics exact for out-of-range stride weights.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    alignas(16) value_type a[kWidth];
+    alignas(16) value_type r[kWidth];
+    to_array(v, a);
+    detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
+    return from_array(r);
+  }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
   }
@@ -131,6 +151,26 @@ struct VecOps<std::int32_t, Sse41Tag> {
   static reg shift_insert(reg v, value_type fill) {
     reg r = _mm_slli_si128(v, 4);
     return _mm_insert_epi32(r, fill, 0);
+  }
+  // Exclusive shifted max-scan (deconstructed lazy-F carry), in-register:
+  // log2(4) Kogge-Stone rounds over the (max, +) semiring. Plain 32-bit
+  // adds are associative, so the tree evaluates the same
+  // max_d(v[l-1-d] + d*step) as the serial recurrence, exactly. The
+  // byte-shift zeroes vacated lanes; blend_epi16 re-inserts the fill.
+  static reg seg_scan_max(reg v, long step, value_type fill) {
+    const reg vfill = _mm_set1_epi32(fill);
+    reg s = shift_insert(v, fill);
+    reg t = _mm_blend_epi16(
+        _mm_add_epi32(_mm_slli_si128(s, 4),
+                      _mm_set1_epi32(static_cast<value_type>(step))),
+        vfill, 0x03);
+    s = _mm_max_epi32(s, t);
+    t = _mm_blend_epi16(
+        _mm_add_epi32(_mm_slli_si128(s, 8),
+                      _mm_set1_epi32(static_cast<value_type>(2 * step))),
+        vfill, 0x0F);
+    s = _mm_max_epi32(s, t);
+    return s;
   }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);

@@ -309,6 +309,65 @@ TEST(Fuzz, EmptySequenceOracle) {
   EXPECT_EQ(all_gap, -(10 + 2 * static_cast<long>(s.size())));
 }
 
+// Adversarial lazy-F workload (high identity, long indels): the regime
+// where the legacy convergence loop retries most and the scan fixup saves
+// the most. Every backend runs both lazy-F paths against the sequential
+// oracle AND against each other - the fixup must be score-identical to
+// the loop it replaces, not merely oracle-correct, across affine and
+// linear gap systems and across alignment kinds.
+TEST(Fuzz, AdversarialLazyFDifferential) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto isas = test::available_isas();
+  const int rounds = fuzz_rounds(3);
+
+  for (int round = 0; round < rounds; ++round) {
+    seq::SequenceGenerator gen(0xADF0u + static_cast<std::uint64_t>(round));
+    std::uniform_int_distribution<int> len_d(120, 700);
+    const auto query = gen.protein(
+        static_cast<std::size_t>(len_d(gen.rng())), "q");
+    seq::AdversarialSpec spec;
+    spec.identity = 0.95 + 0.04 * (round % 2);
+    spec.gap_rate = 0.005 + 0.01 * (round % 3);
+    const auto subject = gen.adversarial_subject(query, spec);
+
+    const auto& alpha = score::Alphabet::protein();
+    const auto q = alpha.encode(query.residues);
+    const auto s = alpha.encode(subject.residues);
+
+    for (const bool linear : {false, true}) {
+      for (AlignKind kind : {AlignKind::Local, AlignKind::Global,
+                             AlignKind::SemiGlobal}) {
+        AlignConfig cfg;
+        cfg.kind = kind;
+        cfg.pen = linear ? Penalties::symmetric(0, 4)
+                         : Penalties::symmetric(10, 2);
+        const long expect = core::align_sequential(m, cfg, q, s);
+
+        for (simd::IsaKind isa : isas) {
+          for (Strategy strat : {Strategy::StripedIterate, Strategy::Hybrid}) {
+            long scores[2];
+            for (LazyF lazyf : {LazyF::Fixup, LazyF::Legacy}) {
+              cfg.lazyf = lazyf;
+              AlignOptions opt;
+              opt.isa = isa;
+              opt.width = ScoreWidth::Auto;  // exercises 8/16-bit fixup too
+              opt.strategy = strat;
+              scores[lazyf == LazyF::Legacy] = align_pair(m, cfg, q, s, opt).score;
+              ASSERT_EQ(scores[lazyf == LazyF::Legacy], expect)
+                  << "round " << round << " " << to_string(kind) << " "
+                  << to_string(strat) << " " << to_string(lazyf) << " "
+                  << (linear ? "linear" : "affine") << " isa "
+                  << simd::isa_name(isa);
+            }
+            ASSERT_EQ(scores[0], scores[1])
+                << "fixup/legacy divergence round " << round;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(Fuzz, LongSimilarPairAllBackends) {
   // One big pair (8k x 8k, high identity) through every backend: catches
   // accumulation and range issues short tests miss.

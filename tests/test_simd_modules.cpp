@@ -272,12 +272,56 @@ void table_lookup_semantics() {
   }
 }
 
+// seg_scan_max: the lazy-F carry scan primitive. Contract (vec_scalar.h):
+// out[0] = fill; out[l] = max(in[l-1], out[l-1] (+) step), where (+) is a
+// saturating add for narrow types and a plain add for int32. The reference
+// below runs the recurrence in long arithmetic with an explicit clamp -
+// the in-register Kogge-Stone trees and the spill paths must both match
+// it, including full-range inputs that hit the rails.
+template <class Ops>
+void seg_scan_max_matches_reference() {
+  using T = typename Ops::value_type;
+  constexpr int W = Ops::kWidth;
+  std::mt19937_64 rng(0x5Ca9);
+
+  // Full-range (rail-hitting) inputs are defined behaviour only for the
+  // saturating narrow types; int32 uses plain adds and relies on the
+  // neg_inf = min/2 headroom invariant, so it is tested in score range.
+  for (const bool full_range : {false, sizeof(T) < 4}) {
+    for (const long step : {-1L, -3L, -40L, -300L, 0L}) {
+      for (int iter = 0; iter < 20; ++iter) {
+        const auto raw = random_values<Ops>(rng, W, full_range);
+        util::AlignedBuffer<T> vals(W);
+        for (int l = 0; l < W; ++l) vals[l] = raw[static_cast<std::size_t>(l)];
+        typename Ops::reg v = Ops::load(vals.data());
+        const T fill = neg_inf<T>();
+        alignas(64) T out[W];
+        Ops::to_array(Ops::seg_scan_max(v, step, fill), out);
+
+        long carry = fill;
+        for (int l = 0; l < W; ++l) {
+          ASSERT_EQ(out[l], static_cast<T>(carry))
+              << "lane " << l << " step " << step << " full=" << full_range;
+          long ext = carry + step;
+          if (sizeof(T) < 4) {
+            const long lo = std::numeric_limits<T>::min();
+            const long hi = std::numeric_limits<T>::max();
+            ext = ext < lo ? lo : (ext > hi ? hi : ext);
+          }
+          carry = std::max(static_cast<long>(vals[l]), ext);
+        }
+      }
+    }
+  }
+}
+
 template <class Ops>
 void run_all() {
   primitive_roundtrip_and_arith<Ops>();
   shift_insert_semantics<Ops>();
   set_vector_semantics<Ops>();
   wgt_max_scan_matches_reference<Ops>();
+  seg_scan_max_matches_reference<Ops>();
   influence_and_hmax<Ops>();
   eq_mask_semantics<Ops>();
   gather_semantics<Ops>();
