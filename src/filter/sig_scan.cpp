@@ -1,0 +1,42 @@
+// Runtime backend selection for the signature scan, mirroring
+// core/dispatch.cpp: compile-time availability guards + cpuid, with the
+// scalar sweep as the unconditional fallback (results are bit-identical
+// across backends, so the fallback is silent).
+#include "filter/sig_scan.h"
+
+namespace aalign::filter {
+
+SigScanFn sig_scan_fn(simd::IsaKind isa) {
+  if (!simd::isa_available(isa)) return &sig_popcnt_and_scalar;
+  switch (isa) {
+    case simd::IsaKind::Scalar:
+      return &sig_popcnt_and_scalar;
+    case simd::IsaKind::Sse41:
+#if defined(AALIGN_HAVE_SSE41)
+      return &sig_popcnt_and_sse41;
+#else
+      return &sig_popcnt_and_scalar;
+#endif
+    case simd::IsaKind::Avx2:
+#if defined(AALIGN_HAVE_AVX2)
+      return &sig_popcnt_and_avx2;
+#else
+      return &sig_popcnt_and_scalar;
+#endif
+    case simd::IsaKind::Avx512:
+#if defined(AALIGN_HAVE_AVX512)
+      return &sig_popcnt_and_avx512;
+#else
+      return &sig_popcnt_and_scalar;
+#endif
+    case simd::IsaKind::Avx512Bw:
+#if defined(AALIGN_HAVE_AVX512BW)
+      return &sig_popcnt_and_avx512bw;
+#else
+      return &sig_popcnt_and_scalar;
+#endif
+  }
+  return &sig_popcnt_and_scalar;
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,44 @@
+// ISA dispatch for the signature-intersection primitive: popcount of the
+// word-wise AND of two signature slabs. One entry point per backend TU
+// (mirrors core/backends.h); sig_scan_fn resolves the best usable one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace aalign::filter {
+
+// Pointers must be 64-byte aligned; `words` counts int32 words. The
+// SignatureIndex geometry (bits % 512 == 0) guarantees both, so backends
+// never need a tail loop - but each still carries one for safety.
+using SigScanFn = std::uint64_t (*)(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words);
+
+std::uint64_t sig_popcnt_and_scalar(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words);
+#if defined(AALIGN_HAVE_SSE41)
+std::uint64_t sig_popcnt_and_sse41(const std::int32_t* a,
+                                   const std::int32_t* b, std::size_t words);
+#endif
+#if defined(AALIGN_HAVE_AVX2)
+std::uint64_t sig_popcnt_and_avx2(const std::int32_t* a,
+                                  const std::int32_t* b, std::size_t words);
+#endif
+#if defined(AALIGN_HAVE_AVX512)
+std::uint64_t sig_popcnt_and_avx512(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words);
+#endif
+#if defined(AALIGN_HAVE_AVX512BW)
+std::uint64_t sig_popcnt_and_avx512bw(const std::int32_t* a,
+                                      const std::int32_t* b,
+                                      std::size_t words);
+#endif
+
+// The requested backend when compiled in and supported by the running
+// CPU, else the scalar fallback - never nullptr (every result is
+// bit-identical across backends, so falling back is silent).
+SigScanFn sig_scan_fn(simd::IsaKind isa);
+
+}  // namespace aalign::filter

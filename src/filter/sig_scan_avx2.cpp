@@ -1,0 +1,15 @@
+// AVX2 signature-scan backend. Compiled with -mavx2 only; dispatched
+// behind cpuid (filter/sig_scan.cpp).
+#include "filter/sig_scan.h"
+#include "filter/sig_scan_impl.h"
+#include "simd/vec_avx2.h"
+
+namespace aalign::filter {
+
+std::uint64_t sig_popcnt_and_avx2(const std::int32_t* a,
+                                  const std::int32_t* b, std::size_t words) {
+  return detail::sig_popcnt_and<simd::VecOps<std::int32_t, simd::Avx2Tag>>(
+      a, b, words);
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,15 @@
+// AVX-512 (IMCI-profile) signature-scan backend. Compiled with the
+// avx512 flag set only; dispatched behind cpuid (filter/sig_scan.cpp).
+#include "filter/sig_scan.h"
+#include "filter/sig_scan_impl.h"
+#include "simd/vec_avx512.h"
+
+namespace aalign::filter {
+
+std::uint64_t sig_popcnt_and_avx512(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words) {
+  return detail::sig_popcnt_and<simd::VecOps<std::int32_t, simd::Avx512Tag>>(
+      a, b, words);
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,17 @@
+// AVX-512 BW+VBMI signature-scan backend (in-register nibble-LUT
+// popcount). Compiled with the avx512bw flag set only; dispatched behind
+// cpuid (filter/sig_scan.cpp).
+#include "filter/sig_scan.h"
+#include "filter/sig_scan_impl.h"
+#include "simd/vec_avx512bw.h"
+
+namespace aalign::filter {
+
+std::uint64_t sig_popcnt_and_avx512bw(const std::int32_t* a,
+                                      const std::int32_t* b,
+                                      std::size_t words) {
+  return detail::sig_popcnt_and<simd::VecOps<std::int32_t, simd::Avx512BwTag>>(
+      a, b, words);
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,27 @@
+// Shared body of the per-ISA signature-scan TUs: a strided
+// VecOps::popcount_and sweep over two signature slabs. Each TU includes
+// its backend's vec_*.h first, then instantiates this template - no
+// intrinsics appear outside simd/vec_*.h.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace aalign::filter::detail {
+
+template <class Ops>
+inline std::uint64_t sig_popcnt_and(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words) {
+  constexpr std::size_t kW = static_cast<std::size_t>(Ops::kWidth);
+  std::uint64_t n = 0;
+  std::size_t i = 0;
+  for (; i + kW <= words; i += kW)
+    n += Ops::popcount_and(Ops::load(a + i), Ops::load(b + i));
+  for (; i < words; ++i)
+    n += static_cast<std::uint64_t>(std::popcount(
+        static_cast<std::uint32_t>(a[i]) & static_cast<std::uint32_t>(b[i])));
+  return n;
+}
+
+}  // namespace aalign::filter::detail

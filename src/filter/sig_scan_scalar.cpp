@@ -1,0 +1,15 @@
+// Scalar signature-scan backend: always compiled, the dispatch fallback
+// and the semantic reference the SIMD backends are tested against.
+#include "filter/sig_scan.h"
+#include "filter/sig_scan_impl.h"
+#include "simd/vec_scalar.h"
+
+namespace aalign::filter {
+
+std::uint64_t sig_popcnt_and_scalar(const std::int32_t* a,
+                                    const std::int32_t* b, std::size_t words) {
+  return detail::sig_popcnt_and<simd::VecOps<std::int32_t, simd::ScalarTag>>(
+      a, b, words);
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,15 @@
+// SSE4.1 signature-scan backend. Compiled with -msse4.1 only; dispatched
+// behind cpuid (filter/sig_scan.cpp).
+#include "filter/sig_scan.h"
+#include "filter/sig_scan_impl.h"
+#include "simd/vec_sse41.h"
+
+namespace aalign::filter {
+
+std::uint64_t sig_popcnt_and_sse41(const std::int32_t* a,
+                                   const std::int32_t* b, std::size_t words) {
+  return detail::sig_popcnt_and<simd::VecOps<std::int32_t, simd::Sse41Tag>>(
+      a, b, words);
+}
+
+}  // namespace aalign::filter

@@ -1,0 +1,206 @@
+#include "filter/signature.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "filter/sig_scan.h"
+#include "obs/instrument.h"
+
+namespace aalign::filter {
+
+namespace {
+
+// FNV-1a over the k residue codes; one bit per k-mer keeps signatures
+// sparse, which is what makes the containment score discriminate (a
+// multi-hash Bloom fill would saturate mid-length subjects).
+inline std::uint32_t kmer_hash(const std::uint8_t* p, int k) {
+  std::uint32_t h = 2166136261u;
+  for (int j = 0; j < k; ++j) h = (h ^ p[j]) * 16777619u;
+  return h;
+}
+
+}  // namespace
+
+const char* filter_mode_name(FilterMode mode) {
+  switch (mode) {
+    case FilterMode::Off:
+      return "off";
+    case FilterMode::On:
+      return "on";
+    case FilterMode::Auto:
+      return "auto";
+  }
+  return "off";
+}
+
+std::optional<FilterMode> parse_filter_mode(std::string_view name) {
+  if (name == "off") return FilterMode::Off;
+  if (name == "on") return FilterMode::On;
+  if (name == "auto") return FilterMode::Auto;
+  return std::nullopt;
+}
+
+bool filter_active(FilterMode mode, bool is_local) {
+  switch (mode) {
+    case FilterMode::Off:
+      return false;
+    case FilterMode::On:
+      return true;
+    case FilterMode::Auto:
+      return is_local;  // the calibrated regime (docs/search.md)
+  }
+  return false;
+}
+
+SignatureIndex::SignatureIndex(const seq::Database& db, FilterParams params)
+    : params_(params) {
+  if (params_.k < 1) throw std::invalid_argument("filter: k must be >= 1");
+  if (params_.bits == 0 || params_.bits % 512 != 0)
+    throw std::invalid_argument("filter: bits must be a multiple of 512");
+  count_ = db.size();
+  words_ = params_.bits / 32;
+  residues_ = db.total_residues();
+  blob_.resize(count_ * words_);
+  blob_.zero();
+  popcounts_.resize(count_);
+  lengths_.resize(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto view = db[i].view();
+    lengths_[i] = static_cast<std::uint32_t>(view.size());
+    std::uint64_t pc = 0;
+    build_signature(view, blob_.data() + i * words_, &pc);
+    popcounts_[i] = static_cast<std::uint32_t>(pc);
+  }
+  obs::registry().counter("filter.index_builds").add(count_ == 0 ? 0 : 1);
+}
+
+void SignatureIndex::build_signature(std::span<const std::uint8_t> residues,
+                                     std::int32_t* words,
+                                     std::uint64_t* popcount) const {
+  const int k = params_.k;
+  if (residues.size() >= static_cast<std::size_t>(k)) {
+    const std::size_t n = residues.size() - static_cast<std::size_t>(k) + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t bit =
+          kmer_hash(residues.data() + i, k) % static_cast<std::uint32_t>(params_.bits);
+      words[bit / 32] |= static_cast<std::int32_t>(std::uint32_t{1} << (bit % 32));
+    }
+  }
+  std::uint64_t pc = 0;
+  for (std::size_t w = 0; w < words_; ++w)
+    pc += static_cast<std::uint64_t>(
+        std::popcount(static_cast<std::uint32_t>(words[w])));
+  *popcount = pc;
+}
+
+QuerySignature SignatureIndex::make_query_signature(
+    std::span<const std::uint8_t> query) const {
+  QuerySignature q;
+  q.length = query.size();
+  q.words.resize(words_);
+  q.words.zero();
+  build_signature(query, q.words.data(), &q.popcount);
+  return q;
+}
+
+FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
+                                 std::vector<std::uint8_t>& survivors,
+                                 double threshold) const {
+  const double thr = threshold < 0.0 ? params_.threshold : threshold;
+  survivors.assign(count_, std::uint8_t{1});
+  FilterStats fs;
+  fs.candidates = count_;
+  if (count_ == 0) return fs;
+
+  // Guard: a short or empty query signature cannot discriminate - pass
+  // everything rather than risk recall.
+  if (q.length < params_.min_query || q.popcount == 0) {
+    fs.survivors = count_;
+    fs.auto_pass = count_;
+    return fs;
+  }
+
+  const SigScanFn fn = sig_scan_fn(isa);
+  const double bits = static_cast<double>(params_.bits);
+  const double qb = static_cast<double>(q.popcount);
+
+  // Pass 1: the SIMD AND-popcount sweep, plus the per-set-bit hit rate of
+  // every screened subject. The MEDIAN rate is the robust background
+  // estimate (header comment): unrelated subjects cluster around the
+  // composition-driven rate, homologs are the upper outliers, and the
+  // median ignores them as long as they are under half the database.
+  std::vector<std::uint64_t> and_bits(count_, 0);
+  std::vector<double> rates;
+  rates.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint32_t sb32 = popcounts_[i];
+    if (lengths_[i] < params_.min_subject || sb32 == 0) {
+      ++fs.auto_pass;
+      ++fs.survivors;
+      continue;
+    }
+    and_bits[i] = fn(q.words.data(), blob_.data() + i * words_, words_);
+    rates.push_back(static_cast<double>(and_bits[i]) /
+                    static_cast<double>(sb32));
+  }
+  double median_rate = -1.0;
+  if (rates.size() >= params_.min_background) {
+    const auto mid = rates.begin() + static_cast<long>(rates.size() / 2);
+    std::nth_element(rates.begin(), mid, rates.end());
+    median_rate = *mid;
+  }
+
+  // Pass 2: score each screened subject against the empirical background
+  // (uniform-hash expectation when the sample was too small to trust).
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint32_t sb32 = popcounts_[i];
+    if (lengths_[i] < params_.min_subject || sb32 == 0) continue;
+    const double sb = static_cast<double>(sb32);
+    double e = median_rate >= 0.0 ? median_rate * sb : qb * sb / bits;
+    e = std::min(e, 0.98 * std::min(qb, sb));
+    const double denom = std::min(qb, sb) - e;
+    if (denom < params_.min_informative) {
+      // Saturated/uninformative signature (very long subjects): the score
+      // would be all noise, so the subject rescans exactly.
+      ++fs.auto_pass;
+      ++fs.survivors;
+      continue;
+    }
+    const double score = (static_cast<double>(and_bits[i]) - e) / denom;
+    if (score >= thr) {
+      ++fs.survivors;
+    } else {
+      survivors[i] = 0;
+      if (score >= thr - params_.near_margin) ++fs.near_miss_drops;
+    }
+  }
+  return fs;
+}
+
+FilterStats SignatureIndex::scan(std::span<const std::uint8_t> query,
+                                 simd::IsaKind isa,
+                                 std::vector<std::uint8_t>& survivors,
+                                 double threshold) const {
+  return scan(make_query_signature(query), isa, survivors, threshold);
+}
+
+}  // namespace aalign::filter
+
+namespace aalign::obs {
+
+// Counter fan-out for one filter scan (declared in obs/instrument.h;
+// defined here so obs never includes the filter layer).
+void record_filter_stats(const filter::FilterStats& fs) {
+  Registry& r = registry();
+  r.counter("filter.candidates").add(fs.candidates);
+  r.counter("filter.survivors").add(fs.survivors);
+  r.counter("filter.auto_pass").add(fs.auto_pass);
+  r.counter("filter.near_miss_drops").add(fs.near_miss_drops);
+  r.histogram("filter.survivor_rate_pct")
+      .record(static_cast<std::uint64_t>(fs.survivor_rate() * 100.0 + 0.5));
+  r.histogram("filter.est_false_drop_ppm")
+      .record(static_cast<std::uint64_t>(fs.est_false_drop() * 1e6 + 0.5));
+}
+
+}  // namespace aalign::obs

@@ -1,0 +1,171 @@
+// Two-stage search, stage one: k-mer bit signatures (the SSW/SWAPHI-style
+// pre-filter the ROADMAP calls for). Every subject gets a fixed-width
+// Bloom-style bitset of its k-mer hashes, built once at database load; a
+// query is screened against all of them with one SIMD popcount-AND sweep
+// (VecOps::popcount_and), and only subjects whose bias-corrected
+// signature containment clears a calibrated threshold are routed into the
+// exact precision-ladder rescoring path.
+//
+// Scoring model (docs/search.md derives the calibration):
+//   q = |query signature|, s = |subject signature|
+//   e = expected AND bits of an UNRELATED subject of this saturation,
+//       from the database-calibrated background model below
+//   score = (AND - e) / (min(q, s) - e)
+// score is ~0 for unrelated sequences and approaches the aligned-region
+// k-mer containment (~ identity^k * coverage) for homologs.
+//
+// Background model: amino-acid composition makes common k-mers shared by
+// UNRELATED proteins, so the uniform-hash expectation q*s/B undershoots
+// badly (measured: it leaves the background score mean near +0.06, not
+// 0). A mean-based correction (per-bit document frequencies) fixes that
+// but breaks the other way on homolog-rich databases: related subjects
+// inflate the mean and depress every score. The scan instead measures
+// the background EMPIRICALLY and ROBUSTLY: pass one computes AND_j for
+// every subject (the SIMD sweep it was going to do anyway) and takes the
+// median of the per-set-bit hit rates AND_j / s_j; pass two scores each
+// subject against e_j = median_rate * s_j. The median is insensitive to
+// homologs (they are the upper outliers) as long as they are under half
+// the database; below FilterParams::min_background screened subjects the
+// scan falls back to the uniform-hash expectation rather than trust a
+// tiny sample. Every guard errs toward keeping a subject: short
+// subjects/queries, empty signatures, and saturated (uninformative)
+// signatures auto-pass, so the filter trades speed - never recall - when
+// a signature cannot discriminate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "seq/database.h"
+#include "simd/isa.h"
+#include "util/aligned_buffer.h"
+
+namespace aalign::filter {
+
+// Per-request routing knob (wire value of aalignd's `filter` field):
+//   Off  - exhaustive scan, bit-identical to the pre-filter era
+//   On   - filter unconditionally (the caller asserts calibration holds)
+//   Auto - filter only where the calibration applies (local alignment)
+enum class FilterMode : std::uint8_t { Off, On, Auto };
+
+const char* filter_mode_name(FilterMode mode);
+std::optional<FilterMode> parse_filter_mode(std::string_view name);
+
+struct FilterParams {
+  int k = 3;                  // k-mer length
+  std::size_t bits = 2048;    // signature width; must be a multiple of 512
+  // Default calibrated containment threshold. Calibrated on planted
+  // homologs down to the md-identity band (~50% identity with short
+  // indels, the weakest hits the bench's recall gate protects): their
+  // scores bottom out just above 0.01, while the corrected background
+  // sits at ~0; see bench/bench_filter.cpp and docs/search.md.
+  double threshold = 0.01;
+  std::size_t min_subject = 24;  // shorter subjects always survive
+  std::size_t min_query = 24;    // shorter queries disable the filter
+  double min_informative = 24.0; // denominator floor before auto-pass
+  double near_margin = 0.08;     // near-miss window for false-drop estimate
+  // Screened subjects required before the empirical median background is
+  // trusted; smaller databases use the uniform-hash expectation.
+  std::size_t min_background = 8;
+};
+
+struct FilterStats {
+  std::uint64_t candidates = 0;  // subjects screened
+  std::uint64_t survivors = 0;   // subjects routed to exact rescoring
+  std::uint64_t auto_pass = 0;   // survivors via guards, not signature score
+  // Dropped subjects scoring within near_margin of the threshold: the
+  // false-drop risk estimator (a calibrated filter keeps this near zero).
+  std::uint64_t near_miss_drops = 0;
+
+  double survivor_rate() const {
+    return candidates == 0
+               ? 1.0
+               : static_cast<double>(survivors) / static_cast<double>(candidates);
+  }
+  double est_false_drop() const {
+    return candidates == 0 ? 0.0
+                           : static_cast<double>(near_miss_drops) /
+                                 static_cast<double>(candidates);
+  }
+};
+
+// Search-layer routing options (embedded in search::SearchOptions).
+class SignatureIndex;
+struct FilterOptions {
+  FilterMode mode = FilterMode::Off;
+  FilterParams params;
+  double threshold = -1.0;  // per-request override; < 0 = params.threshold
+  // Prebuilt index (service startup, benches). When null - or stale for
+  // the database being searched - the search layer builds one on the fly.
+  std::shared_ptr<const SignatureIndex> index;
+};
+
+// Sentinel score for subjects the filter dropped (never produced by a
+// kernel; local scores are >= 0). Search layers strip trailing sentinel
+// hits after top-k selection, making filtered top-k a prefix-consistent
+// subset of the exhaustive ranking.
+inline constexpr long kDroppedScore = std::numeric_limits<long>::min();
+
+// The query-side signature; build once, scan against many databases.
+struct QuerySignature {
+  util::AlignedBuffer<std::int32_t> words;
+  std::uint64_t popcount = 0;
+  std::size_t length = 0;
+};
+
+class SignatureIndex {
+ public:
+  SignatureIndex() = default;
+  // Builds one signature per subject in the database's CURRENT order
+  // (build after sort_by_length_desc so positions stay stable).
+  explicit SignatureIndex(const seq::Database& db, FilterParams params = {});
+
+  std::size_t size() const { return count_; }
+  const FilterParams& params() const { return params_; }
+  std::size_t words_per_signature() const { return words_; }
+
+  // True when this index plausibly describes `db` as currently ordered
+  // (size + residue-total fingerprint; a re-added or re-sorted database
+  // fails and must be re-indexed).
+  bool matches(const seq::Database& db) const {
+    return count_ == db.size() && residues_ == db.total_residues();
+  }
+
+  QuerySignature make_query_signature(std::span<const std::uint8_t> query) const;
+
+  // Screens every subject: survivors[i] = 1 to rescore exactly, 0 to
+  // drop, indexed by CURRENT database position. `isa` picks the
+  // popcount-AND backend (falls back to scalar when unavailable);
+  // `threshold` < 0 uses params().threshold. Deterministic: the verdict
+  // depends only on signatures and the threshold, never on the ISA.
+  FilterStats scan(const QuerySignature& q, simd::IsaKind isa,
+                   std::vector<std::uint8_t>& survivors,
+                   double threshold = -1.0) const;
+  FilterStats scan(std::span<const std::uint8_t> query, simd::IsaKind isa,
+                   std::vector<std::uint8_t>& survivors,
+                   double threshold = -1.0) const;
+
+ private:
+  void build_signature(std::span<const std::uint8_t> residues,
+                       std::int32_t* words, std::uint64_t* popcount) const;
+
+  FilterParams params_;
+  std::size_t count_ = 0;
+  std::size_t words_ = 0;     // int32 words per signature
+  std::size_t residues_ = 0;  // fingerprint: db.total_residues() at build
+  util::AlignedBuffer<std::int32_t> blob_;  // count_ * words_, 64-B strided
+  std::vector<std::uint32_t> popcounts_;    // per-subject set-bit counts
+  std::vector<std::uint32_t> lengths_;      // per-subject residue counts
+};
+
+// True when the filter stage should run for this request shape: On always
+// wins, Auto gates on the calibrated regime (local alignment), Off never.
+bool filter_active(FilterMode mode, bool is_local);
+
+}  // namespace aalign::filter

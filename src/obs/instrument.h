@@ -17,6 +17,8 @@
 //   pool.{steals,stolen_items,steal_scans}       work-stealing traffic
 //   batch.{runs,tiles,dedup_queries}             scheduler shape
 //   inter.{i8,i16,i32}.{subjects,batches,overflowed,cells}  ladder tiers
+//   filter.{candidates,survivors,auto_pass,near_miss_drops}  pre-filter
+//                                                screening outcomes
 //
 // Histograms/timers (hybrid dwell, per-phase wall clocks) are recorded at
 // their call sites; this header only centralizes the struct -> counter
@@ -52,10 +54,21 @@ struct BatchStats;
 struct InterTierStats;
 }  // namespace aalign::search
 
+// FilterStats lives in the filter layer (two-stage search pre-filter);
+// same declare-here/define-there pattern (filter/signature.cpp).
+namespace aalign::filter {
+struct FilterStats;
+}  // namespace aalign::filter
+
 namespace aalign::obs {
 
 void record_pool_stats(const search::PoolStats& stats);
 void record_batch_stats(const search::BatchStats& stats);
+
+// One signature scan's screening outcome: filter.{candidates,survivors,
+// auto_pass,near_miss_drops} counters + per-scan survivor-rate /
+// false-drop-estimate histograms.
+void record_filter_stats(const filter::FilterStats& stats);
 
 // One rung of the precision ladder; `tier` indexes core::InterPrecision
 // (0 = i8, 1 = i16, 2 = i32). Tiers that never ran (subjects == 0) are

@@ -194,6 +194,34 @@ std::vector<SearchResult> BatchScheduler::run(
   }
   const std::size_t ng = group_primary.size();
 
+  // Stage one, per distinct query: signature screening over the sorted
+  // database (docs/search.md). Masks live in CURRENT database positions;
+  // dropped subjects are skipped in the tile loop and carry
+  // filter::kDroppedScore sentinels, trimmed after top-k selection.
+  const bool filtered =
+      filter::filter_active(opt_.filter.mode, cfg_.kind == AlignKind::Local);
+  std::vector<std::vector<std::uint8_t>> alive;
+  std::vector<filter::FilterStats> fstats;
+  if (filtered) {
+    const filter::SignatureIndex* idx = opt_.filter.index.get();
+    if (idx == nullptr || !idx->matches(db)) {
+      if (index_ == nullptr || !index_->matches(db)) {
+        index_ =
+            std::make_shared<filter::SignatureIndex>(db, opt_.filter.params);
+      }
+      idx = index_.get();
+    }
+    alive.resize(ng);
+    fstats.resize(ng);
+    obs::ScopedTimer filter_timer(
+        obs::registry().timer("phase.filter_scan"));
+    for (std::size_t gi = 0; gi < ng; ++gi) {
+      fstats[gi] = idx->scan(queries[group_primary[gi]], opt_.query.isa,
+                             alive[gi], opt_.filter.threshold);
+      obs::record_filter_stats(fstats[gi]);
+    }
+  }
+
   // Resolve the tile grid. Auto shard size targets ~8 tiles per worker per
   // query so stealing has granularity to work with, without shrinking
   // tiles into scheduling noise.
@@ -253,7 +281,13 @@ std::vector<SearchResult> BatchScheduler::run(
         const core::QueryContext& ctx = *ctxs[group_primary[tile.group]];
         QueryAcc& acc = w.acc[tile.group];
         long* out = scores[tile.group].data();
+        const std::uint8_t* mask =
+            filtered ? alive[tile.group].data() : nullptr;
         for (std::size_t s = tile.begin; s < tile.end; ++s) {
+          if (mask != nullptr && mask[s] == 0) {
+            out[s] = filter::kDroppedScore;
+            continue;
+          }
           const core::AdaptiveResult ar =
               ctx.align(db[s].view(), w.ws, /*track_end=*/false, cancel);
           if (ar.cancelled) core::throw_cancelled(*cancel);
@@ -283,7 +317,15 @@ std::vector<SearchResult> BatchScheduler::run(
   for (std::size_t gi = 0; gi < ng; ++gi) {
     SearchResult& res = merged[gi];
     res.seconds = wall_seconds;  // shared batch wall clock (documented)
-    res.cells = queries[group_primary[gi]].size() * db.total_residues();
+    std::size_t scanned_residues = db.total_residues();
+    if (filtered) {
+      scanned_residues = 0;
+      for (std::size_t s = 0; s < ns; ++s)
+        if (alive[gi][s] != 0) scanned_residues += db[s].size();
+      res.filtered = true;
+      res.filter_stats = fstats[gi];
+    }
+    res.cells = queries[group_primary[gi]].size() * scanned_residues;
     computed_cells += res.cells;
     res.gcups = util::gcups_cells(res.cells, wall_seconds);
     for (const WorkerState& w : workers) {
@@ -301,6 +343,10 @@ std::vector<SearchResult> BatchScheduler::run(
     obs::registry().counter("search.promotions").add(res.promotions);
     remap_scores_to_original(db, scores[gi]);
     res.top = select_top_k(scores[gi], opt_.top_k);
+    // Sentinel trim keeps filtered top-k a prefix-consistent subset of
+    // the exhaustive ranking (see DatabaseSearch::search).
+    while (!res.top.empty() && res.top.back().score == filter::kDroppedScore)
+      res.top.pop_back();
     if (opt_.keep_all_scores) res.scores = std::move(scores[gi]);
   }
   std::vector<SearchResult> out(nq);
@@ -326,7 +372,12 @@ std::vector<SearchResult> BatchScheduler::run(
   stats_.cells = computed_cells;
   stats_.gcups = util::gcups_cells(computed_cells, wall_seconds);
   obs::record_batch_stats(stats_);
-  obs::registry().counter("search.align_calls").add(ng * ns);
+  std::uint64_t align_calls = static_cast<std::uint64_t>(ng) * ns;
+  if (filtered) {
+    align_calls = 0;
+    for (const filter::FilterStats& fs : fstats) align_calls += fs.survivors;
+  }
+  obs::registry().counter("search.align_calls").add(align_calls);
   return out;
 }
 

@@ -127,12 +127,26 @@ class BatchScheduler {
   const BatchStats& last_stats() const { return stats_; }
   const QueryProfileCache& cache() const { return cache_; }
 
+  // Per-request filter routing (aalignd's `filter: on|off|auto`): applies
+  // to the next run(). Not thread-safe against a concurrent run() - the
+  // service's executors each own their scheduler, so the mutation is
+  // always from the same thread that runs it.
+  void set_filter(const filter::FilterOptions& filter) {
+    opt_.filter = filter;
+  }
+  void set_filter_mode(filter::FilterMode mode) { opt_.filter.mode = mode; }
+  const filter::FilterOptions& filter_options() const { return opt_.filter; }
+
  private:
   const score::ScoreMatrix& matrix_;
   AlignConfig cfg_;
   SearchOptions opt_;
   QueryProfileCache cache_;
   BatchStats stats_;
+  // Lazily built signature index for the last database run() saw; reused
+  // across runs until the database fingerprint changes. A prebuilt
+  // opt_.filter.index takes precedence.
+  std::shared_ptr<const filter::SignatureIndex> index_;
 };
 
 }  // namespace aalign::search

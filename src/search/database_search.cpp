@@ -24,6 +24,29 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
 
   if (opt_.sort_database) db.sort_by_length_desc();
 
+  // Stage one: signature screening (docs/search.md). The survivor mask is
+  // in CURRENT (sorted) database positions; dropped subjects never reach
+  // a kernel and surface as filter::kDroppedScore sentinels, stripped
+  // from the top-k below.
+  std::vector<std::uint8_t> alive;
+  filter::FilterStats fstats;
+  bool filtered = false;
+  std::shared_ptr<const filter::SignatureIndex> owned_index;
+  if (filter::filter_active(opt_.filter.mode,
+                            cfg_.kind == AlignKind::Local)) {
+    const filter::SignatureIndex* idx = opt_.filter.index.get();
+    if (idx == nullptr || !idx->matches(db)) {
+      owned_index =
+          std::make_shared<filter::SignatureIndex>(db, opt_.filter.params);
+      idx = owned_index.get();
+    }
+    obs::ScopedTimer filter_timer(
+        obs::registry().timer("phase.filter_scan"));
+    fstats = idx->scan(query, opt_.query.isa, alive, opt_.filter.threshold);
+    obs::record_filter_stats(fstats);
+    filtered = true;
+  }
+
   // Built once, shared read-only by every worker (Sec. V-E).
   const core::QueryContext ctx(matrix_, cfg_, opt_.query, query);
 
@@ -39,6 +62,10 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
   {
     obs::ScopedTimer scan_timer(obs::registry().timer("phase.search_scan"));
     parallel_for_dynamic(db.size(), threads, [&](int id, std::size_t i) {
+      if (filtered && alive[i] == 0) {
+        scores[i] = filter::kDroppedScore;
+        return;
+      }
       WorkerState& w = workers[static_cast<std::size_t>(id)];
       const core::AdaptiveResult ar =
           ctx.align(db[i].view(), w.ws, /*track_end=*/false, cancel);
@@ -57,8 +84,18 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
 
   SearchResult res;
   res.seconds = timer.seconds();
-  res.cells = query.size() * db.total_residues();
+  // `cells` reports DP work actually done: filtered-out subjects computed
+  // nothing (effective-GCUPS-at-recall accounting is the bench's job).
+  std::size_t scanned_residues = db.total_residues();
+  if (filtered) {
+    scanned_residues = 0;
+    for (std::size_t i = 0; i < db.size(); ++i)
+      if (alive[i] != 0) scanned_residues += db[i].size();
+  }
+  res.cells = query.size() * scanned_residues;
   res.gcups = util::gcups_cells(res.cells, res.seconds);
+  res.filtered = filtered;
+  res.filter_stats = fstats;
   for (const WorkerState& w : workers) {
     res.promotions += w.promotions;
     res.stats.columns += w.stats.columns;
@@ -70,12 +107,19 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
     res.stats.switches += w.stats.switches;
   }
   obs::record_kernel_stats(res.stats);
-  obs::registry().counter("search.align_calls").add(db.size());
+  obs::registry()
+      .counter("search.align_calls")
+      .add(filtered ? fstats.survivors : db.size());
   obs::registry().counter("search.promotions").add(res.promotions);
 
   obs::ScopedTimer topk_timer(obs::registry().timer("phase.topk"));
   remap_scores_to_original(db, scores);
   res.top = select_top_k(scores, opt_.top_k);
+  // Dropped subjects rank below every real survivor; trimming the
+  // sentinels makes the filtered top-k a prefix-consistent subset of the
+  // exhaustive ranking (the test layer's core invariant).
+  while (!res.top.empty() && res.top.back().score == filter::kDroppedScore)
+    res.top.pop_back();
   if (opt_.keep_all_scores) res.scores = std::move(scores);
   return res;
 }
@@ -98,6 +142,14 @@ std::vector<SearchResult> DatabaseSearch::search_many(
   out.reserve(queries.size());
   SearchOptions per_query = opt_;
   per_query.sort_database = false;  // sorted once above
+  if (filter::filter_active(per_query.filter.mode,
+                            cfg_.kind == AlignKind::Local) &&
+      (per_query.filter.index == nullptr ||
+       !per_query.filter.index->matches(db))) {
+    // Index once for the whole batch, not once per query.
+    per_query.filter.index =
+        std::make_shared<filter::SignatureIndex>(db, per_query.filter.params);
+  }
   DatabaseSearch inner(matrix_, cfg_, per_query);
   for (const auto& q : queries) out.push_back(inner.search(q, db, cancel));
   return out;

@@ -10,6 +10,7 @@
 
 #include "core/cancel.h"
 #include "core/query_context.h"
+#include "filter/signature.h"
 #include "seq/database.h"
 
 namespace aalign::search {
@@ -28,6 +29,13 @@ struct SearchOptions {
   bool batch_queries = true;
   std::size_t shard_size = 0;             // subjects per tile; 0 = auto
   std::size_t profile_cache_capacity = 64;  // distinct cached QueryContexts
+
+  // Two-stage search (docs/search.md): signature pre-filter routing only
+  // surviving subjects into the exact scan. Off by default - the library
+  // stays bit-identical to the exhaustive era unless a caller opts in.
+  // When filtering, dropped subjects carry filter::kDroppedScore in the
+  // per-subject score vector and never appear in `top`.
+  filter::FilterOptions filter;
 };
 
 struct SearchHit {
@@ -48,6 +56,8 @@ struct SearchResult {
   double gcups = 0.0;
   std::uint64_t promotions = 0;  // adaptive width retries over all subjects
   KernelStats stats;             // aggregated kernel statistics
+  bool filtered = false;         // the signature pre-filter stage ran
+  filter::FilterStats filter_stats;  // meaningful only when `filtered`
 };
 
 class DatabaseSearch {

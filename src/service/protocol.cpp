@@ -65,6 +65,13 @@ std::string parse_request(const obs::Json& doc, WireRequest& out) {
     }
     out.allow_degraded = a->as_bool();
   }
+  if (const obs::Json* f = doc.find("filter")) {
+    if (!f->is_string()) return "'filter' must be \"off\", \"on\", or \"auto\"";
+    const auto mode = filter::parse_filter_mode(f->as_string());
+    if (!mode) return "'filter' must be \"off\", \"on\", or \"auto\"";
+    out.filter = *mode;
+    out.filter_explicit = true;
+  }
   return "";
 }
 
@@ -77,6 +84,9 @@ obs::Json request_json(const WireRequest& req) {
   doc.set("top_k", req.top_k);
   if (req.deadline_ms > 0) doc.set("deadline_ms", req.deadline_ms);
   if (!req.allow_degraded) doc.set("allow_degraded", false);
+  if (req.filter_explicit || req.filter != filter::FilterMode::Auto) {
+    doc.set("filter", filter::filter_mode_name(req.filter));
+  }
   return doc;
 }
 
@@ -92,6 +102,7 @@ obs::Json response_json(const WireResponse& resp) {
     return doc;
   }
   doc.set("degraded", resp.degraded);
+  doc.set("filtered", resp.filtered);
   doc.set("queue_ms", resp.queue_ms);
   doc.set("exec_ms", resp.exec_ms);
   obs::Json results = obs::Json::array();
@@ -128,6 +139,7 @@ WireResponse parse_response(const obs::Json& doc) {
     return resp;
   }
   resp.degraded = doc["degraded"].as_bool();
+  if (const obs::Json* f = doc.find("filtered")) resp.filtered = f->as_bool();
   resp.queue_ms = doc["queue_ms"].as_double();
   resp.exec_ms = doc["exec_ms"].as_double();
   const obs::Json& results = doc["results"];

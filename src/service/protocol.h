@@ -6,10 +6,10 @@
 //
 // Request line:
 //   {"id": 7, "queries": ["MKV..."], "top_k": 5,
-//    "deadline_ms": 250, "allow_degraded": true}
+//    "deadline_ms": 250, "allow_degraded": true, "filter": "auto"}
 //
 // Success line:
-//   {"id": 7, "ok": true, "degraded": false,
+//   {"id": 7, "ok": true, "degraded": false, "filtered": true,
 //    "queue_ms": 0.1, "exec_ms": 5.2,
 //    "results": [{"hits": [{"index": 3, "subject": "db3", "score": 87}]}]}
 //
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "filter/signature.h"
 #include "obs/json.h"
 
 namespace aalign::service {
@@ -51,6 +52,12 @@ struct WireRequest {
   std::size_t top_k = 10;
   std::int64_t deadline_ms = 0;       // relative budget; 0 = no deadline
   bool allow_degraded = true;         // permit the int8 fast path under load
+  // Two-stage routing ("off" | "on" | "auto"): whether the signature
+  // pre-filter may screen subjects before exact rescoring. Requests that
+  // omit the field (filter_explicit=false) inherit the server's default
+  // mode (aalignd --filter, Auto unless overridden).
+  filter::FilterMode filter = filter::FilterMode::Auto;
+  bool filter_explicit = false;
 };
 
 struct WireHit {
@@ -70,6 +77,7 @@ struct WireResponse {
   std::string message;
   bool degraded = false;   // served by the int8 fast path (scores may
                            // saturate at the 8-bit rail)
+  bool filtered = false;   // the signature pre-filter screened subjects
   double queue_ms = 0.0;   // admission-to-dequeue wait
   double exec_ms = 0.0;    // alignment execution time
   std::vector<WireResult> results;  // one per query, request order

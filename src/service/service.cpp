@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 
+#include "filter/signature.h"
 #include "obs/metrics.h"
 #include "search/batch_scheduler.h"
 #include "search/top_k.h"
@@ -47,6 +48,15 @@ AlignService::AlignService(const score::ScoreMatrix& matrix, AlignConfig cfg,
   // keep the full score vector and skip their own selection.
   opt_.search.top_k = 0;
   opt_.search.keep_all_scores = true;
+  // Signature index over the sorted storage, built once here and shared
+  // read-only by every executor's scheduler. Requests route around it per
+  // call ("filter": off|on|auto); Auto only activates for local alignment,
+  // so other configs skip the build entirely.
+  if (cfg_.kind == AlignKind::Local && !db_.empty() &&
+      opt_.search.filter.index == nullptr) {
+    opt_.search.filter.index = std::make_shared<filter::SignatureIndex>(
+        db_, opt_.search.filter.params);
+  }
 
   const int n = std::max(1, opt_.executors);
   executors_.reserve(static_cast<std::size_t>(n));
@@ -177,6 +187,8 @@ void AlignService::executor_loop(int executor_id) {
         encoded.push_back(matrix_.alphabet().encode(q));
       }
       search::BatchScheduler& sched = degrade ? degraded : exact;
+      sched.set_filter_mode(p->req.filter_explicit ? p->req.filter
+                                                   : opt_.search.filter.mode);
       const std::vector<search::SearchResult> results =
           sched.run(encoded, db_, &p->cancel);
 
@@ -187,9 +199,13 @@ void AlignService::executor_loop(int executor_id) {
       resp.exec_ms = static_cast<double>(us_between(dequeued, finished)) /
                      1000.0;
       for (const search::SearchResult& r : results) {
+        resp.filtered = resp.filtered || r.filtered;
         WireResult out;
         for (const search::SearchHit& hit :
              search::select_top_k(r.scores, p->req.top_k)) {
+          // Filter-dropped subjects carry the sentinel score and sort as a
+          // contiguous suffix; they never surface as hits.
+          if (hit.score == filter::kDroppedScore) break;
           out.hits.push_back(WireHit{
               hit.index, db_.by_original(hit.index).id, hit.score});
         }

@@ -29,6 +29,31 @@
 
 namespace aalign::simd {
 
+namespace detail {
+
+// Popcount of a 256-bit AND, over raw bits (lane width irrelevant). Same
+// Mula nibble-LUT + psadbw scheme as the SSE4.1 backend, widened: the LUT
+// is replicated into both 128-bit lanes and the four u64 partial sums are
+// folded with one cross-lane extract.
+inline std::uint64_t popcnt_and_256(__m256i a, __m256i b) {
+  const __m256i v = _mm256_and_si256(a, b);
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+  const __m256i sum =
+      _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+  const __m128i fold = _mm_add_epi64(_mm256_castsi256_si128(sum),
+                                     _mm256_extracti128_si256(sum, 1));
+  return static_cast<std::uint64_t>(_mm_extract_epi64(fold, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(fold, 1));
+}
+
+}  // namespace detail
+
 template <class T, class Isa>
 struct VecOps;
 
@@ -85,6 +110,9 @@ struct VecOps<std::int8_t, Avx2Tag> {
     return _mm256_blendv_epi8(_mm256_shuffle_epi8(t1, idx),
                               _mm256_shuffle_epi8(t0, idx), in_lo);
   }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_256(a, b);
+  }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
   }
@@ -136,6 +164,9 @@ struct VecOps<std::int16_t, Avx2Tag> {
     to_array(v, a);
     detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
     return from_array(r);
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_256(a, b);
   }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);
@@ -201,6 +232,9 @@ struct VecOps<std::int32_t, Avx2Tag> {
         vfill, 0x0F);
     s = _mm256_max_epi32(s, t);
     return s;
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_256(a, b);
   }
   static void to_array(reg v, value_type* out) {
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), v);

@@ -24,6 +24,7 @@
 #include <immintrin.h>
 #pragma GCC diagnostic pop
 
+#include <bit>
 #include <cstdint>
 
 #include "simd/isa.h"
@@ -86,6 +87,17 @@ struct VecOps<std::int32_t, Avx512Tag> {
     round(_mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7),
           __mmask16(0x00FF), 8 * step);
     return s;
+  }
+  // Popcount of the 512-bit AND, over raw bits. Plain AVX-512F has no
+  // vector popcount (VPOPCNTDQ is a separate extension we do not compile
+  // for) and no 512-bit psadbw without BW, so the AND spills to eight u64
+  // words counted scalar-side - still one AND + 8 popcnt per 64 bytes.
+  static std::uint64_t popcount_and(reg a, reg b) {
+    alignas(64) std::uint64_t w[8];
+    _mm512_store_si512(w, _mm512_and_si512(a, b));
+    std::uint64_t n = 0;
+    for (std::uint64_t x : w) n += static_cast<std::uint64_t>(std::popcount(x));
+    return n;
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }

@@ -27,6 +27,27 @@
 
 namespace aalign::simd {
 
+namespace detail {
+
+// Popcount of a 512-bit AND, over raw bits (lane width irrelevant). BW
+// gives pshufb and psadbw at 512 bits, so the whole Mula nibble-LUT
+// scheme stays in-register: one shuffle pair per 64 bytes, psadbw folds
+// to eight u64 partial sums, reduce_add finishes.
+inline std::uint64_t popcnt_and_512(__m512i a, __m512i b) {
+  const __m512i v = _mm512_and_si512(a, b);
+  const __m512i lut = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low = _mm512_set1_epi8(0x0F);
+  const __m512i lo = _mm512_shuffle_epi8(lut, _mm512_and_si512(v, low));
+  const __m512i hi = _mm512_shuffle_epi8(
+      lut, _mm512_and_si512(_mm512_srli_epi16(v, 4), low));
+  const __m512i sum =
+      _mm512_sad_epu8(_mm512_add_epi8(lo, hi), _mm512_setzero_si512());
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(sum));
+}
+
+}  // namespace detail
+
 template <class T, class Isa>
 struct VecOps;
 
@@ -64,6 +85,9 @@ struct VecOps<std::int8_t, Avx512BwTag> {
   // score-profile build one permute per alphabet symbol. Needs VBMI.
   static reg table_lookup(const value_type* row, reg idx) {
     return _mm512_permutexvar_epi8(idx, _mm512_load_si512(row));
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_512(a, b);
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
@@ -113,6 +137,9 @@ struct VecOps<std::int16_t, Avx512BwTag> {
   // selects per lane (indices 0..31).
   static reg table_lookup(const value_type* row, reg idx) {
     return _mm512_permutexvar_epi16(idx, _mm512_load_si512(row));
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_512(a, b);
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }
@@ -177,6 +204,9 @@ struct VecOps<std::int32_t, Avx512BwTag> {
     round(_mm512_setr_epi32(0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7),
           __mmask16(0x00FF), 8 * step);
     return s;
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_512(a, b);
   }
   static void to_array(reg v, value_type* out) { _mm512_storeu_si512(out, v); }
   static reg from_array(const value_type* p) { return _mm512_loadu_si512(p); }

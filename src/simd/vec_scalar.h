@@ -23,12 +23,20 @@
 //                     exactly like repeated saturating adds would. This is
 //                     the cross-lane carry of the deconstructed lazy-F
 //                     fixup (simd/modules.h, lazyf_carry_scan).
+//   popcount_and(a, b) : population count of the bitwise AND of the two
+//                     registers, taken over the raw register bits (lane
+//                     type is irrelevant). The signature-intersection core
+//                     of the two-stage search pre-filter (src/filter/):
+//                     one call scores one register-width slice of a
+//                     k-mer bitset against the query signature.
 //   to_array/from_array : unaligned spills used by cold generic paths
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "simd/isa.h"
 #include "util/saturate.h"
@@ -142,6 +150,17 @@ struct VecOps<T, ScalarTag> {
     reg r;
     detail::seg_scan_max_lanes<T, kWidth>(v.lane, r.lane, step, fill);
     return r;
+  }
+
+  // Popcount of the register-wide AND; the semantic reference for the
+  // hardware backends (raw bits, lane type irrelevant).
+  static std::uint64_t popcount_and(reg a, reg b) {
+    using U = std::make_unsigned_t<T>;
+    std::uint64_t n = 0;
+    for (int l = 0; l < kWidth; ++l)
+      n += static_cast<std::uint64_t>(std::popcount(
+          static_cast<U>(static_cast<U>(a.lane[l]) & static_cast<U>(b.lane[l]))));
+    return n;
   }
 
   static void to_array(reg v, T* out) { std::memcpy(out, v.lane, sizeof(v.lane)); }

@@ -16,6 +16,27 @@
 
 namespace aalign::simd {
 
+namespace detail {
+
+// Popcount of a 128-bit AND, over raw bits (lane width irrelevant, so all
+// three specializations share it). SSE4.1 has no vector popcount; this is
+// the Mula nibble-LUT scheme: pshufb maps each nibble to its bit count and
+// psadbw folds the byte counts into two u64 partial sums.
+inline std::uint64_t popcnt_and_128(__m128i a, __m128i b) {
+  const __m128i v = _mm_and_si128(a, b);
+  const __m128i lut =
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m128i low = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_shuffle_epi8(lut, _mm_and_si128(v, low));
+  const __m128i hi =
+      _mm_shuffle_epi8(lut, _mm_and_si128(_mm_srli_epi16(v, 4), low));
+  const __m128i sum = _mm_sad_epu8(_mm_add_epi8(lo, hi), _mm_setzero_si128());
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+}  // namespace detail
+
 template <class T, class Isa>
 struct VecOps;
 
@@ -67,6 +88,9 @@ struct VecOps<std::int8_t, Sse41Tag> {
     return _mm_blendv_epi8(_mm_shuffle_epi8(t1, idx), _mm_shuffle_epi8(t0, idx),
                            in_lo);
   }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_128(a, b);
+  }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
   }
@@ -113,6 +137,9 @@ struct VecOps<std::int16_t, Sse41Tag> {
     to_array(v, a);
     detail::seg_scan_max_lanes<value_type, kWidth>(a, r, step, fill);
     return from_array(r);
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_128(a, b);
   }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);
@@ -171,6 +198,9 @@ struct VecOps<std::int32_t, Sse41Tag> {
         vfill, 0x0F);
     s = _mm_max_epi32(s, t);
     return s;
+  }
+  static std::uint64_t popcount_and(reg a, reg b) {
+    return detail::popcnt_and_128(a, b);
   }
   static void to_array(reg v, value_type* out) {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(out), v);

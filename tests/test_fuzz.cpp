@@ -9,6 +9,7 @@
 // 3); sanitizer CI jobs raise it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -361,6 +362,118 @@ TEST(Fuzz, AdversarialLazyFDifferential) {
             }
             ASSERT_EQ(scores[0], scores[1])
                 << "fixup/legacy divergence round " << round;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Two-stage search differential (docs/search.md): each round builds a
+// seeded database of planted homologs, stride-boundary lengths, and
+// degenerate subjects, then checks - for every backend x precision tier x
+// threshold - that the filtered search is a prefix-consistent subset of
+// the exhaustive one: every survivor rescored bit-identically, dropped
+// subjects only ever carrying the sentinel, the filtered top-k exactly
+// the exhaustive ranking with dropped subjects removed. At the calibrated
+// default threshold the planted homologs must all survive (recall).
+TEST(Fuzz, FilterRecallDifferential) {
+  const auto& m = score::ScoreMatrix::blosum62();
+  const auto isas = test::available_isas();
+  const int rounds = fuzz_rounds(3);
+  const std::size_t kTopK = 6;
+
+  for (int round = 0; round < rounds; ++round) {
+    std::mt19937_64 rng(0xF117u + static_cast<std::uint64_t>(round) * 104729);
+    AlignConfig cfg;
+    cfg.kind = AlignKind::Local;  // the filter's calibrated regime
+    const auto pens = test::test_penalties();
+    cfg.pen = pens[static_cast<std::size_t>(round) % pens.size()];
+
+    std::uniform_int_distribution<int> qlen_d(120, 280), slen_d(2, 320);
+    const auto query =
+        test::random_protein(rng, static_cast<std::size_t>(qlen_d(rng)));
+
+    seq::Database db;
+    int n = 0;
+    auto add = [&](std::vector<std::uint8_t> s) {
+      char id[32];
+      std::snprintf(id, sizeof(id), "s%d", n++);
+      db.add(seq::EncodedSequence{id, std::move(s)});
+    };
+    // Planted homologs first (original indices 0..kTopK-1): identity
+    // bands from near-identical down to the calibration edge.
+    const double subs[] = {0.05, 0.15, 0.25, 0.35, 0.40, 0.10};
+    for (std::size_t h = 0; h < kTopK; ++h) {
+      add(test::mutate(rng, query, subs[h], 0.01 * static_cast<double>(h % 4)));
+    }
+    add({});                            // empty subject: guard auto-pass
+    add(test::random_protein(rng, 1));  // single residue: guard auto-pass
+    for (std::size_t len : {16, 17, 63, 64, 65, 128}) {
+      add(test::random_protein(rng, len));
+    }
+    for (int i = 0; i < 80; ++i) {
+      add(test::random_protein(rng, static_cast<std::size_t>(slen_d(rng))));
+    }
+
+    for (simd::IsaKind isa : isas) {
+      for (ScoreWidth width : {ScoreWidth::Auto, ScoreWidth::W32}) {
+        if (width == ScoreWidth::W32 &&
+            core::get_engine<std::int32_t>(isa) == nullptr) {
+          continue;
+        }
+        search::SearchOptions opt;
+        opt.threads = 1 + round % 3;
+        opt.top_k = kTopK;
+        opt.query.isa = isa;
+        opt.query.width = width;
+
+        seq::Database dbe = db;
+        const auto exhaustive =
+            search::DatabaseSearch(m, cfg, opt).search(query, dbe);
+
+        // Default (calibrated) threshold plus one loose and one absurdly
+        // tight cut: the subset invariant must hold at every threshold,
+        // recall only at the default.
+        for (const double thr : {-1.0, 0.01, 0.6}) {
+          opt.filter.mode = filter::FilterMode::On;
+          opt.filter.threshold = thr;
+          seq::Database dbf = db;
+          const auto filtered =
+              search::DatabaseSearch(m, cfg, opt).search(query, dbf);
+          ASSERT_TRUE(filtered.filtered);
+          ASSERT_EQ(filtered.scores.size(), exhaustive.scores.size());
+
+          std::vector<search::SearchHit> expected;
+          for (std::size_t i = 0; i < filtered.scores.size(); ++i) {
+            if (filtered.scores[i] == filter::kDroppedScore) continue;
+            ASSERT_EQ(filtered.scores[i], exhaustive.scores[i])
+                << "round " << round << " isa " << simd::isa_name(isa)
+                << " thr " << thr << " subject " << i;
+            expected.push_back(search::SearchHit{i, exhaustive.scores[i]});
+          }
+          std::sort(expected.begin(), expected.end(),
+                    [](const search::SearchHit& a, const search::SearchHit& b) {
+                      return a.score != b.score ? a.score > b.score
+                                                : a.index < b.index;
+                    });
+          if (expected.size() > kTopK) expected.resize(kTopK);
+          ASSERT_EQ(filtered.top.size(), expected.size())
+              << "round " << round << " thr " << thr;
+          for (std::size_t r = 0; r < expected.size(); ++r) {
+            ASSERT_EQ(filtered.top[r].index, expected[r].index)
+                << "round " << round << " thr " << thr << " rank " << r;
+            ASSERT_EQ(filtered.top[r].score, expected[r].score);
+          }
+
+          if (thr < 0.0) {
+            // Calibrated default: every planted homolog survives.
+            for (std::size_t h = 0; h < kTopK; ++h) {
+              ASSERT_NE(filtered.scores[h], filter::kDroppedScore)
+                  << "round " << round << " isa " << simd::isa_name(isa)
+                  << " dropped planted homolog " << h << " (sub rate "
+                  << subs[h] << ")";
+            }
           }
         }
       }

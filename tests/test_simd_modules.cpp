@@ -6,10 +6,13 @@
 // a runtime cpuid check and GTEST_SKIP()s on unsupported hardware.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <limits>
 #include <random>
+#include <type_traits>
 #include <vector>
 
+#include "filter/sig_scan.h"
 #include "simd/modules.h"
 #include "simd/vec_avx2.h"
 #include "simd/vec_avx512.h"
@@ -315,6 +318,48 @@ void seg_scan_max_matches_reference() {
   }
 }
 
+// popcount_and: population count of the raw-bit AND of two whole
+// registers, lane-type agnostic. Checked bit-exact against a per-lane
+// reference on edge patterns (zero, all-ones, sign-bit-only, low-bit)
+// and random full-range lanes.
+template <class Ops>
+void popcount_and_matches_reference() {
+  using T = typename Ops::value_type;
+  using U = std::make_unsigned_t<T>;
+  constexpr int W = Ops::kWidth;
+  std::mt19937_64 rng(0xB175);
+
+  alignas(64) T a[W], b[W];
+  const auto reference = [&]() {
+    std::uint64_t n = 0;
+    for (int l = 0; l < W; ++l) {
+      n += static_cast<std::uint64_t>(std::popcount(
+          static_cast<U>(static_cast<U>(a[l]) & static_cast<U>(b[l]))));
+    }
+    return n;
+  };
+
+  const U specials[] = {U{0}, static_cast<U>(~U{0}),
+                        static_cast<U>(U{1} << (sizeof(T) * 8 - 1)), U{1}};
+  for (U pa : specials) {
+    for (U pb : specials) {
+      for (int l = 0; l < W; ++l) {
+        a[l] = static_cast<T>(pa);
+        b[l] = static_cast<T>(pb);
+      }
+      ASSERT_EQ(Ops::popcount_and(Ops::load(a), Ops::load(b)), reference());
+    }
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    for (int l = 0; l < W; ++l) {
+      a[l] = static_cast<T>(rng());
+      b[l] = static_cast<T>(rng());
+    }
+    ASSERT_EQ(Ops::popcount_and(Ops::load(a), Ops::load(b)), reference())
+        << "iter " << iter;
+  }
+}
+
 template <class Ops>
 void run_all() {
   primitive_roundtrip_and_arith<Ops>();
@@ -326,6 +371,7 @@ void run_all() {
   eq_mask_semantics<Ops>();
   gather_semantics<Ops>();
   table_lookup_semantics<Ops>();
+  popcount_and_matches_reference<Ops>();
 }
 
 #define AALIGN_SIMD_TEST(SUITE, T, TAG)                       \
@@ -360,6 +406,35 @@ AALIGN_SIMD_TEST(SimdModules, int8_t, Avx512Bw)
 AALIGN_SIMD_TEST(SimdModules, int16_t, Avx512Bw)
 AALIGN_SIMD_TEST(SimdModules, int32_t, Avx512Bw)
 #endif
+
+// The signature-scan dispatch (filter/sig_scan.h) over whole word
+// arrays: every backend must agree bit-exactly with the scalar popcount
+// sum, including word counts at and around each backend's lane boundary
+// (strides are 4/8/16 int32 words, so 4..80 covers below/at/above for
+// all of them plus the strided-sweep tail path).
+TEST(SigScan, BitExactAcrossBackendsAndWidths) {
+  std::mt19937_64 rng(0x5163);
+  for (const std::size_t words : {4, 8, 12, 16, 24, 32, 48, 64, 80}) {
+    util::AlignedBuffer<std::int32_t> a, b;
+    a.resize(words);
+    b.resize(words);
+    std::uint64_t expect = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      a[w] = static_cast<std::int32_t>(rng());
+      b[w] = static_cast<std::int32_t>(rng());
+      expect += static_cast<std::uint64_t>(
+          std::popcount(static_cast<std::uint32_t>(a[w]) &
+                        static_cast<std::uint32_t>(b[w])));
+    }
+    for (IsaKind isa : kAllIsaKinds) {
+      if (!isa_available(isa)) continue;
+      const filter::SigScanFn fn = filter::sig_scan_fn(isa);
+      ASSERT_NE(fn, nullptr) << isa_name(isa);
+      EXPECT_EQ(fn(a.data(), b.data(), words), expect)
+          << isa_name(isa) << " words=" << words;
+    }
+  }
+}
 
 // The scan reference itself: spot-check tiny cases by hand.
 TEST(WgtMaxScanReference, TinyHandCase) {

@@ -18,6 +18,8 @@
 //   --width N        8|16|32|auto                        [auto]
 //   --threads N      worker threads                      [hardware]
 //   --top K          hits to report                      [10]
+//   --filter MODE    signature pre-filter on|off|auto    [off]
+//   --filter-threshold X  containment-score cut override [calibrated]
 //   --batch          run EVERY query record in -q as one batched
 //                    search_many (tile scheduler + profile LRU)
 //   --shard-size N   subjects per scheduler tile         [auto]
@@ -89,6 +91,8 @@ void print_help() {
       "  --isa scalar|sse41|avx2|avx512               [best available]\n"
       "  --width 8|16|32|auto                         [auto]\n"
       "  --threads N / --top K                        [hardware / 10]\n"
+      "  --filter on|off|auto  signature pre-filter   [off]\n"
+      "  --filter-threshold X  containment cut        [calibrated]\n"
       "  --format table|tsv                           [table]\n"
       "  --batch  (all -q records as one scheduled batch)\n"
       "  --shard-size N  subjects per tile            [auto]\n"
@@ -148,6 +152,8 @@ int main(int argc, char** argv) {
   std::string query_path, db_path, matrix_name = "blosum62";
   std::string kind_name = "local", strategy_name = "hybrid";
   std::string isa_name_opt, width_name = "auto", format = "table";
+  std::string filter_name = "off";
+  double filter_threshold = -1.0;  // < 0 = calibrated default
   std::string metrics_json_path;
   int open = 10, ext = 2, threads = 0;
   std::size_t top_k = 10, shard_size = 0;
@@ -173,6 +179,8 @@ int main(int argc, char** argv) {
     else if (a == "--top") top_k = static_cast<std::size_t>(std::atol(next().c_str()));
     else if (a == "--batch") batch = true;
     else if (a == "--shard-size") shard_size = static_cast<std::size_t>(std::atol(next().c_str()));
+    else if (a == "--filter") filter_name = next();
+    else if (a == "--filter-threshold") filter_threshold = std::atof(next().c_str());
     else if (a == "--format") format = next();
     else if (a == "--metrics-json") metrics_json_path = next();
     else if (a == "-h" || a == "--help") { print_help(); return 0; }
@@ -228,6 +236,12 @@ int main(int argc, char** argv) {
   else if (width_name == "32") opt.query.width = ScoreWidth::W32;
   else if (width_name == "auto") opt.query.width = ScoreWidth::Auto;
   else die("unknown width '" + width_name + "'");
+  if (const auto mode = filter::parse_filter_mode(filter_name)) {
+    opt.filter.mode = *mode;
+  } else {
+    die("--filter must be on, off, or auto (got '" + filter_name + "')");
+  }
+  opt.filter.threshold = filter_threshold;
 
   seq::Database db(alphabet, raw);
   opt.shard_size = shard_size;
@@ -273,6 +287,7 @@ int main(int argc, char** argv) {
     workload.set("strategy", strategy_name);
     workload.set("width", width_name);
     workload.set("mode", batch ? "batch" : "single");
+    workload.set("filter", filter_name);
 
     std::size_t total_cells = 0;
     double wall = 0.0;
@@ -291,6 +306,11 @@ int main(int argc, char** argv) {
       row.set("hybrid_switches", res.stats.switches);
       row.set("lazy_steps", res.stats.lazy_steps);
       row.set("columns", res.stats.columns);
+      row.set("filtered", res.filtered);
+      if (res.filtered) {
+        row.set("filter_candidates", res.filter_stats.candidates);
+        row.set("filter_survivors", res.filter_stats.survivors);
+      }
       rows.push_back(std::move(row));
     }
     obs::Json series = obs::Json::object();
@@ -344,6 +364,12 @@ int main(int argc, char** argv) {
                 res.seconds, batch ? " (batch wall)" : "", res.gcups,
                 static_cast<unsigned long long>(res.promotions),
                 static_cast<unsigned long long>(res.stats.switches));
+    if (res.filtered) {
+      std::printf("# filter: %llu of %llu subjects rescored (%.1f%%)\n",
+                  static_cast<unsigned long long>(res.filter_stats.survivors),
+                  static_cast<unsigned long long>(res.filter_stats.candidates),
+                  res.filter_stats.survivor_rate() * 100.0);
+    }
     print_result(query_records[qi], qenc[qi], db, res, matrix, ka, format);
   }
   return 0;

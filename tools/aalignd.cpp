@@ -19,6 +19,8 @@
 //   --queue-cap N      admission queue capacity         [64]
 //   --degrade-depth N  queue depth enabling int8 mode   [8]
 //   --max-query-len N  per-query residue limit          [100000]
+//   --filter MODE      signature pre-filter default for requests that
+//                      omit the field: on|off|auto      [auto]
 //   --metrics-json F   write an "aalign.run" v2 document on shutdown
 //
 // SIGTERM/SIGINT initiate drain-then-exit: the listener closes, every
@@ -31,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "filter/signature.h"
 #include "obs/export.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
@@ -68,6 +71,7 @@ void print_help() {
       "  --threads N / --executors N                  [hardware / 1]\n"
       "  --queue-cap N / --degrade-depth N            [64 / 8]\n"
       "  --max-query-len N                            [100000]\n"
+      "  --filter on|off|auto  pre-filter default      [auto]\n"
       "  --metrics-json FILE  run document on shutdown\n");
 }
 
@@ -79,6 +83,9 @@ int main(int argc, char** argv) {
   std::string matrix_name = "blosum62";
   std::string metrics_json;
   service::ServiceOptions sopt;
+  // Wire default: two-stage routing on for the regime it is calibrated
+  // for (local alignment); requests override per call via "filter".
+  sopt.search.filter.mode = filter::FilterMode::Auto;
   service::TcpServerOptions topt;
   topt.port = 7731;
   int open = 10, ext = 2;
@@ -119,6 +126,11 @@ int main(int argc, char** argv) {
     } else if (a == "--max-query-len") {
       sopt.max_query_len =
           static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--filter") {
+      const std::string v = next();
+      const auto mode = filter::parse_filter_mode(v);
+      if (!mode) die("--filter must be on, off, or auto (got '" + v + "')");
+      sopt.search.filter.mode = *mode;
     } else if (a == "--metrics-json") {
       metrics_json = next();
     } else {

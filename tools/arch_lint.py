@@ -316,7 +316,8 @@ SELF_TEST_ARCH = """# mini architecture
 ```
 util   ->
 core   -> util
-search -> core, util
+filter -> util
+search -> filter, core, util
 obs    -> util
 ```
 <!-- arch-lint:cancel-poll -->
@@ -325,7 +326,10 @@ core/kernels.h
 ```
 """
 
-SELF_TEST_OBS = "documented: `documented.name` and `phase.*`\n"
+# Mirrors the real doc's idioms: exact spans, a `phase.*` prefix
+# wildcard, and a brace group (how the filter.* family is documented).
+SELF_TEST_OBS = ("documented: `documented.name`, `phase.*`, and "
+                 "`filter.{candidates,survivors}`\n")
 
 SELF_TEST_FILES = {
     # reverse edge: core may not include search.
@@ -338,16 +342,27 @@ SELF_TEST_FILES = {
     "src/obs/use.cpp": (
         'void g() { counter("BadName"); counter("undocumented.metric");'
         ' counter("documented.name"); timer("phase.anything"); }\n'),
-    "src/search/pool.h": "inline void pool() {}\n",
+    # filter layer: the search -> filter edge is legal, the brace-group
+    # documented counters pass, and an undocumented sibling is caught.
+    "src/filter/sig.cpp": (
+        'void s() { counter("filter.candidates");'
+        ' counter("filter.survivors");'
+        ' counter("filter.undocumented_stat"); }\n'),
+    # stage-one layering violation: filter may not reach up into search.
+    "src/filter/bad_up.h": '#include "search/pool.h"\n',
+    "src/search/pool.h": '#include "filter/sig.h"\ninline void pool() {}\n',
+    "src/filter/sig.h": "inline void sig() {}\n",
     "src/util/buf.h": "inline void buf() {}\n",
 }
 
 SELF_TEST_EXPECT = [
     "layer-dag src/core/bad_include.h -> search",
+    "layer-dag src/filter/bad_up.h -> search",
     "intrinsic src/core/raw_simd.cpp",
     "cancel-poll src/core/kernels.h",
     "metric BadName",
     "metric undocumented.metric",
+    "metric filter.undocumented_stat",
 ]
 
 
