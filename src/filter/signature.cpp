@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 
 #include "filter/sig_scan.h"
 #include "obs/instrument.h"
@@ -75,6 +77,52 @@ SignatureIndex::SignatureIndex(const seq::Database& db, FilterParams params)
   obs::registry().counter("filter.index_builds").add(count_ == 0 ? 0 : 1);
 }
 
+SignatureIndex::SignatureIndex(FilterParams params, std::size_t count,
+                               std::size_t residues,
+                               std::span<const std::int32_t> blob,
+                               std::span<const std::uint32_t> popcounts,
+                               std::span<const std::uint32_t> lengths)
+    : params_(params), count_(count), residues_(residues) {
+  if (params_.k < 1) throw std::invalid_argument("filter: k must be >= 1");
+  if (params_.bits == 0 || params_.bits % 512 != 0)
+    throw std::invalid_argument("filter: bits must be a multiple of 512");
+  words_ = params_.bits / 32;
+  if (blob.size() != count_ * words_ || popcounts.size() != count_ ||
+      lengths.size() != count_) {
+    throw std::invalid_argument(
+        "filter: prebuilt signature arrays disagree with count/bits");
+  }
+  blob_.resize(count_ * words_);
+  std::copy(blob.begin(), blob.end(), blob_.data());
+  popcounts_.assign(popcounts.begin(), popcounts.end());
+  lengths_.assign(lengths.begin(), lengths.end());
+}
+
+SignatureIndex::SignatureIndex(FilterParams params, std::size_t count,
+                               std::size_t residues,
+                               std::span<const std::int32_t> blob,
+                               std::span<const std::uint32_t> popcounts,
+                               std::span<const std::uint32_t> lengths,
+                               std::shared_ptr<const void> backing)
+    : params_(params), count_(count), residues_(residues) {
+  if (params_.k < 1) throw std::invalid_argument("filter: k must be >= 1");
+  if (params_.bits == 0 || params_.bits % 512 != 0)
+    throw std::invalid_argument("filter: bits must be a multiple of 512");
+  words_ = params_.bits / 32;
+  if (blob.size() != count_ * words_ || popcounts.size() != count_ ||
+      lengths.size() != count_) {
+    throw std::invalid_argument(
+        "filter: prebuilt signature arrays disagree with count/bits");
+  }
+  if (reinterpret_cast<std::uintptr_t>(blob.data()) % 64 != 0)
+    throw std::invalid_argument(
+        "filter: zero-copy signature blob must be 64-byte aligned");
+  blob_p_ = blob.data();
+  pop_p_ = popcounts.data();
+  len_p_ = lengths.data();
+  backing_ = std::move(backing);
+}
+
 void SignatureIndex::build_signature(std::span<const std::uint8_t> residues,
                                      std::int32_t* words,
                                      std::uint64_t* popcount) const {
@@ -134,13 +182,13 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
   std::vector<double> rates;
   rates.reserve(count_);
   for (std::size_t i = 0; i < count_; ++i) {
-    const std::uint32_t sb32 = popcounts_[i];
-    if (lengths_[i] < params_.min_subject || sb32 == 0) {
+    const std::uint32_t sb32 = pop_data()[i];
+    if (len_data()[i] < params_.min_subject || sb32 == 0) {
       ++fs.auto_pass;
       ++fs.survivors;
       continue;
     }
-    and_bits[i] = fn(q.words.data(), blob_.data() + i * words_, words_);
+    and_bits[i] = fn(q.words.data(), blob_data() + i * words_, words_);
     rates.push_back(static_cast<double>(and_bits[i]) /
                     static_cast<double>(sb32));
   }
@@ -154,8 +202,8 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
   // Pass 2: score each screened subject against the empirical background
   // (uniform-hash expectation when the sample was too small to trust).
   for (std::size_t i = 0; i < count_; ++i) {
-    const std::uint32_t sb32 = popcounts_[i];
-    if (lengths_[i] < params_.min_subject || sb32 == 0) continue;
+    const std::uint32_t sb32 = pop_data()[i];
+    if (len_data()[i] < params_.min_subject || sb32 == 0) continue;
     const double sb = static_cast<double>(sb32);
     double e = median_rate >= 0.0 ? median_rate * sb : qb * sb / bits;
     e = std::min(e, 0.98 * std::min(qb, sb));

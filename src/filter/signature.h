@@ -126,9 +126,41 @@ class SignatureIndex {
   // (build after sort_by_length_desc so positions stay stable).
   explicit SignatureIndex(const seq::Database& db, FilterParams params = {});
 
+  // Rehydrates a prebuilt index (store::MappedIndex deserialization):
+  // copies the persisted arrays into aligned storage without re-hashing a
+  // single k-mer — and without touching the filter.index_builds counter,
+  // so reuse is observable. `residues` is the fingerprint matches() tests.
+  SignatureIndex(FilterParams params, std::size_t count, std::size_t residues,
+                 std::span<const std::int32_t> blob,
+                 std::span<const std::uint32_t> popcounts,
+                 std::span<const std::uint32_t> lengths);
+
+  // Zero-copy rehydration: scans run directly over the caller's arrays
+  // (the mapped index file), pinned alive by `backing`. The blob must be
+  // 64-byte aligned with signatures packed at words-per-signature stride
+  // — exactly the store section layout. Copies of this index stay valid;
+  // they share the backing.
+  SignatureIndex(FilterParams params, std::size_t count, std::size_t residues,
+                 std::span<const std::int32_t> blob,
+                 std::span<const std::uint32_t> popcounts,
+                 std::span<const std::uint32_t> lengths,
+                 std::shared_ptr<const void> backing);
+
   std::size_t size() const { return count_; }
   const FilterParams& params() const { return params_; }
   std::size_t words_per_signature() const { return words_; }
+  std::size_t residues() const { return residues_; }
+
+  // Raw persisted state (store::build_index_bytes serializes these).
+  std::span<const std::int32_t> blob() const {
+    return {blob_data(), count_ * words_};
+  }
+  std::span<const std::uint32_t> popcounts() const {
+    return {pop_data(), count_};
+  }
+  std::span<const std::uint32_t> lengths() const {
+    return {len_data(), count_};
+  }
 
   // True when this index plausibly describes `db` as currently ordered
   // (size + residue-total fingerprint; a re-added or re-sorted database
@@ -155,6 +187,20 @@ class SignatureIndex {
   void build_signature(std::span<const std::uint8_t> residues,
                        std::int32_t* words, std::uint64_t* popcount) const;
 
+  // Extern pointers are null for owned indexes (built or copy-rehydrated)
+  // and set for zero-copy ones; the accessors pick whichever is live.
+  // Default copies are safe either way: owned copies re-point at their
+  // own vectors, extern copies share `backing_`.
+  const std::int32_t* blob_data() const {
+    return blob_p_ != nullptr ? blob_p_ : blob_.data();
+  }
+  const std::uint32_t* pop_data() const {
+    return pop_p_ != nullptr ? pop_p_ : popcounts_.data();
+  }
+  const std::uint32_t* len_data() const {
+    return len_p_ != nullptr ? len_p_ : lengths_.data();
+  }
+
   FilterParams params_;
   std::size_t count_ = 0;
   std::size_t words_ = 0;     // int32 words per signature
@@ -162,6 +208,10 @@ class SignatureIndex {
   util::AlignedBuffer<std::int32_t> blob_;  // count_ * words_, 64-B strided
   std::vector<std::uint32_t> popcounts_;    // per-subject set-bit counts
   std::vector<std::uint32_t> lengths_;      // per-subject residue counts
+  const std::int32_t* blob_p_ = nullptr;    // zero-copy view (mapped file)
+  const std::uint32_t* pop_p_ = nullptr;
+  const std::uint32_t* len_p_ = nullptr;
+  std::shared_ptr<const void> backing_;     // pins the zero-copy views
 };
 
 // True when the filter stage should run for this request shape: On always

@@ -208,8 +208,13 @@ std::vector<SearchResult> BatchScheduler::run(
       if (index_ == nullptr || !index_->matches(db)) {
         index_ =
             std::make_shared<filter::SignatureIndex>(db, opt_.filter.params);
+      } else {
+        obs::registry().counter("filter.index_reuses").add(1);
       }
       idx = index_.get();
+    } else {
+      // Prebuilt (store-served or caller-supplied) index: no rebuild.
+      obs::registry().counter("filter.index_reuses").add(1);
     }
     alive.resize(ng);
     fstats.resize(ng);

@@ -39,6 +39,9 @@ SearchResult DatabaseSearch::search(std::span<const std::uint8_t> query,
       owned_index =
           std::make_shared<filter::SignatureIndex>(db, opt_.filter.params);
       idx = owned_index.get();
+    } else {
+      // Prebuilt (store-served or caller-cached) index: no k-mer rehash.
+      obs::registry().counter("filter.index_reuses").add(1);
     }
     obs::ScopedTimer filter_timer(
         obs::registry().timer("phase.filter_scan"));

@@ -57,7 +57,7 @@ void run_one_batch(const core::InterEngine& engine, core::InterPrecision prec,
     // Tail batch: repeat the first subject in unused lanes (their scores
     // are simply discarded).
     const std::size_t idx = pending[begin + (l < count ? l : 0)];
-    w.ptrs[l] = db[idx].data.data();
+    w.ptrs[l] = db[idx].view().data();
     w.lens[l] = static_cast<int>(db[idx].size());
     max_len = std::max(max_len, w.lens[l]);
     if (l < count) residues += db[idx].size();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 namespace aalign::seq {
 
@@ -31,7 +32,10 @@ void Database::sort_by_length_desc() {
                    });
   const bool identity =
       std::is_sorted(perm.begin(), perm.end());
-  if (identity && orig_.empty()) return;  // nothing moved, stay identity
+  // Nothing moved: keep whatever permutation is installed (identity, or
+  // one adopted from a store file whose order is already length-sorted —
+  // re-sorting a mapped database must be a true no-op).
+  if (identity) return;
 
   std::vector<EncodedSequence> sorted;
   sorted.reserve(seqs_.size());
@@ -44,6 +48,30 @@ void Database::sort_by_length_desc() {
   orig_ = std::move(new_orig);
   inv_.assign(orig_.size(), 0);
   for (std::size_t pos = 0; pos < orig_.size(); ++pos) inv_[orig_[pos]] = pos;
+}
+
+void Database::adopt_permutation(std::vector<std::size_t> orig) {
+  if (orig.size() != seqs_.size()) {
+    throw std::invalid_argument(
+        "Database::adopt_permutation: size mismatch");
+  }
+  std::vector<std::size_t> inv(orig.size(), orig.size());
+  for (std::size_t pos = 0; pos < orig.size(); ++pos) {
+    if (orig[pos] >= orig.size() || inv[orig[pos]] != orig.size()) {
+      throw std::invalid_argument(
+          "Database::adopt_permutation: not a permutation");
+    }
+    inv[orig[pos]] = pos;
+  }
+  if (std::is_sorted(orig.begin(), orig.end())) {
+    // Identity: stay in the "never permuted" state, exactly like a
+    // freshly parsed database whose sort did not move anything.
+    orig_.clear();
+    inv_.clear();
+    return;
+  }
+  orig_ = std::move(orig);
+  inv_ = std::move(inv);
 }
 
 }  // namespace aalign::seq

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -47,6 +48,21 @@ class Database {
   // Total residue count (for GCUPS accounting).
   std::size_t total_residues() const { return total_residues_; }
 
+  // Zero-copy support (store::MappedIndex): sequences holding external
+  // views need their backing storage pinned for the database's lifetime.
+  // Any opaque owner works; the store layer passes its MappedFile.
+  void set_backing(std::shared_ptr<const void> backing) {
+    backing_ = std::move(backing);
+  }
+  const std::shared_ptr<const void>& backing() const { return backing_; }
+
+  // Installs a stored-order -> original-index permutation (store files
+  // persist the sort the builder applied; adopting it makes a mapped
+  // database report the same original indices as the FASTA-parse + sort
+  // path). Throws std::invalid_argument unless `orig` is a permutation
+  // of [0, size()).
+  void adopt_permutation(std::vector<std::size_t> orig);
+
   auto begin() const { return seqs_.begin(); }
   auto end() const { return seqs_.end(); }
 
@@ -57,6 +73,7 @@ class Database {
   std::vector<std::size_t> orig_;
   std::vector<std::size_t> inv_;
   std::size_t total_residues_ = 0;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace aalign::seq

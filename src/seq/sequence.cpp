@@ -7,7 +7,7 @@ EncodedSequence encode(const score::Alphabet& alphabet, const Sequence& s) {
 }
 
 Sequence decode(const score::Alphabet& alphabet, const EncodedSequence& s) {
-  return Sequence{s.id, alphabet.decode(s.data)};
+  return Sequence{s.id, alphabet.decode(s.view())};
 }
 
 }  // namespace aalign::seq

@@ -19,12 +19,27 @@ struct Sequence {
 };
 
 // A sequence encoded to alphabet indices, ready for the kernels.
+//
+// Two storage modes behind one `view()`: owned (residues in `data`, the
+// FASTA-parse path) and external (residues in memory owned by someone
+// else — store::MappedIndex points these straight into the mmapped
+// residue blob, so a store-served database copies no sequence bytes).
+// External views carry no lifetime of their own; seq::Database keeps the
+// backing mapping alive via its backing() handle.
 struct EncodedSequence {
   std::string id;
   std::vector<std::uint8_t> data;
+  const std::uint8_t* extern_data = nullptr;
+  std::size_t extern_size = 0;
 
-  std::size_t size() const { return data.size(); }
-  std::span<const std::uint8_t> view() const { return data; }
+  std::size_t size() const {
+    return extern_data != nullptr ? extern_size : data.size();
+  }
+  std::span<const std::uint8_t> view() const {
+    return extern_data != nullptr
+               ? std::span<const std::uint8_t>(extern_data, extern_size)
+               : std::span<const std::uint8_t>(data);
+  }
 };
 
 EncodedSequence encode(const score::Alphabet& alphabet, const Sequence& s);

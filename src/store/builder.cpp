@@ -1,0 +1,299 @@
+#include "store/builder.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "store/format.h"
+
+namespace aalign::store {
+
+namespace {
+
+// Append-only byte sink that keeps every region 64-byte aligned and
+// zero-fills the padding (so padded ranges checksum deterministically).
+class Blob {
+ public:
+  std::uint64_t offset() const { return bytes_.size(); }
+
+  std::uint64_t append(const void* data, std::size_t n) {
+    const std::uint64_t at = bytes_.size();
+    bytes_.resize(bytes_.size() + n);
+    if (n != 0) std::memcpy(bytes_.data() + at, data, n);
+    return at;
+  }
+
+  void pad_to_alignment() {
+    static constexpr std::uint8_t kZeros[kFileAlignment] = {};
+    const std::size_t pad = align_up(bytes_.size()) - bytes_.size();
+    if (pad != 0) append(kZeros, pad);
+  }
+
+  std::uint8_t* at(std::uint64_t offset) { return bytes_.data() + offset; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Mirrors core::clamp_score without pulling a core/simd dependency into
+// the store layer: saturate to [neg-inf sentinel, max], where the
+// sentinel is min (8/16-bit) or min/2 (32-bit).
+template <class T>
+T clamp_entry(long v) {
+  const long lo = sizeof(T) >= 4
+                      ? static_cast<long>(std::numeric_limits<T>::min()) / 2
+                      : static_cast<long>(std::numeric_limits<T>::min());
+  if (v > static_cast<long>(std::numeric_limits<T>::max())) {
+    return std::numeric_limits<T>::max();
+  }
+  if (v < lo) return static_cast<T>(lo);
+  return static_cast<T>(v);
+}
+
+// One [alpha][kProfileLutStride] table per precision tier, laid out
+// exactly as core/inter_kernel.h builds its in-register LUT: row per
+// QUERY symbol, indexed by subject character, pad row (index alpha)
+// zero, trailing entries zero.
+template <class T>
+std::vector<T> make_profile_lut(const score::ScoreMatrix& matrix) {
+  const int alpha = matrix.size();
+  std::vector<T> lut(static_cast<std::size_t>(alpha) * kProfileLutStride,
+                     T{0});
+  for (int a = 0; a < alpha; ++a) {
+    T* row = lut.data() + static_cast<std::size_t>(a) * kProfileLutStride;
+    for (int c = 0; c < alpha; ++c) row[c] = clamp_entry<T>(matrix.at(c, a));
+  }
+  return lut;
+}
+
+std::uint64_t input_fingerprint(const seq::Database& db,
+                                const score::ScoreMatrix& matrix,
+                                const BuildParams& params) {
+  std::uint64_t h = fnv1a64(matrix.name().data(), matrix.name().size());
+  const std::uint32_t alpha = static_cast<std::uint32_t>(matrix.size());
+  h = fnv1a64(&alpha, sizeof alpha, h);
+  const filter::FilterParams& fp = params.filter;
+  h = fnv1a64(&fp.k, sizeof fp.k, h);
+  h = fnv1a64(&fp.bits, sizeof fp.bits, h);
+  const std::uint64_t shard = params.shard_target_residues;
+  h = fnv1a64(&shard, sizeof shard, h);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto& s = db[i];
+    h = fnv1a64(s.id.data(), s.id.size(), h);
+    const auto view = s.view();
+    h = fnv1a64(view.data(), view.size(), h);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_index_bytes(seq::Database& db,
+                                            const score::ScoreMatrix& matrix,
+                                            const BuildParams& params) {
+  if (matrix.name().size() >= sizeof(Header{}.matrix_name)) {
+    throw std::invalid_argument("store: matrix name too long for the header");
+  }
+  if (params.shard_target_residues == 0) {
+    throw std::invalid_argument("store: shard_target_residues must be > 0");
+  }
+  // The stored order IS the serving order: sort exactly as the search
+  // layer would, so mmap-served positions, permutation, and signature
+  // index line up bit for bit with the FASTA-parse path.
+  db.sort_by_length_desc();
+  const std::size_t n = db.size();
+
+  // The signature index is built on the sorted database — the expensive
+  // part of service startup that the store precomputes (beside parsing).
+  const filter::SignatureIndex sig(db, params.filter);
+
+  // ---- Assemble section payloads -----------------------------------------
+  std::vector<SeqEntry> seq_dir(n);
+  std::vector<std::uint8_t> id_blob;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq_dir[i].id_offset = id_blob.size();
+    seq_dir[i].id_bytes = static_cast<std::uint32_t>(db[i].id.size());
+    id_blob.insert(id_blob.end(), db[i].id.begin(), db[i].id.end());
+  }
+
+  std::vector<std::uint64_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = db.original_index(i);
+
+  const auto lut8 = make_profile_lut<std::int8_t>(matrix);
+  const auto lut16 = make_profile_lut<std::int16_t>(matrix);
+  const auto lut32 = make_profile_lut<std::int32_t>(matrix);
+
+  // ---- Greedy length-sorted sharding -------------------------------------
+  struct ShardPlan {
+    std::size_t first = 0, count = 0, residues = 0;
+  };
+  std::vector<ShardPlan> shards;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shards.empty() ||
+        (shards.back().count > 0 &&
+         shards.back().residues + db[i].size() > params.shard_target_residues)) {
+      shards.push_back({i, 0, 0});
+    }
+    shards.back().count += 1;
+    shards.back().residues += db[i].size();
+  }
+
+  // ---- Lay out the file ---------------------------------------------------
+  Blob out;
+  Header hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof kMagic);
+  hdr.endian_tag = kEndianTag;
+  hdr.format_version = kFormatVersion;
+  hdr.build_fingerprint = input_fingerprint(db, matrix, params);
+  hdr.seq_count = n;
+  hdr.residue_total = db.total_residues();
+  hdr.shard_count = shards.size();
+  hdr.alphabet_size = static_cast<std::uint32_t>(matrix.size());
+  hdr.section_count = kSectionCount;
+  std::memcpy(hdr.matrix_name, matrix.name().data(), matrix.name().size());
+  hdr.filter_k = static_cast<std::uint32_t>(params.filter.k);
+  hdr.lut_stride = kProfileLutStride;
+  hdr.filter_bits = params.filter.bits;
+  hdr.sig_words = sig.words_per_signature();
+  hdr.filter_threshold = params.filter.threshold;
+  hdr.filter_min_subject = params.filter.min_subject;
+  hdr.filter_min_query = params.filter.min_query;
+  hdr.filter_min_informative = params.filter.min_informative;
+  hdr.filter_near_margin = params.filter.near_margin;
+  hdr.filter_min_background = params.filter.min_background;
+
+  const std::uint64_t hdr_at = out.append(&hdr, sizeof hdr);
+  SectionEntry sections[kSectionCount] = {};
+  const std::uint64_t sections_at = out.append(sections, sizeof sections);
+  out.pad_to_alignment();
+  hdr.header_bytes = out.offset();
+
+  std::size_t next_section = 0;
+  const auto add_section = [&](SectionKind kind, const void* data,
+                               std::size_t bytes, std::uint32_t flags = 0) {
+    SectionEntry& e = sections[next_section++];
+    e.kind = static_cast<std::uint32_t>(kind);
+    e.flags = flags;
+    e.offset = out.offset();
+    out.append(data, bytes);
+    out.pad_to_alignment();
+    e.bytes = out.offset() - e.offset;  // padded (checksummed) size
+    return &e;
+  };
+
+  // Shard directory first (checksummed last: its entries reference blob
+  // offsets assigned below).
+  std::vector<ShardEntry> shard_dir(shards.size());
+  SectionEntry* shard_section =
+      add_section(SectionKind::ShardDir, shard_dir.data(),
+                  shard_dir.size() * sizeof(ShardEntry));
+
+  // Sequence directory placeholder: blob offsets are patched in once the
+  // residue blob is laid out.
+  SectionEntry* seqdir_section = add_section(
+      SectionKind::SeqDir, seq_dir.data(), seq_dir.size() * sizeof(SeqEntry));
+  add_section(SectionKind::IdBlob, id_blob.data(), id_blob.size());
+
+  // Residue blob: every sequence start 64-byte aligned so mapped views
+  // can feed aligned vector loads; shard ranges tile the section exactly.
+  SectionEntry* blob_section = nullptr;
+  {
+    SectionEntry& e = sections[next_section++];
+    blob_section = &e;
+    e.kind = static_cast<std::uint32_t>(SectionKind::SeqBlob);
+    e.flags = kSectionFlagPerShardChecksum;
+    e.offset = out.offset();
+    for (std::size_t si = 0; si < shards.size(); ++si) {
+      ShardEntry& sh = shard_dir[si];
+      sh.first_seq = shards[si].first;
+      sh.seq_count = shards[si].count;
+      sh.blob_offset = out.offset();
+      sh.max_len = db[shards[si].first].size();
+      sh.min_len = db[shards[si].first + shards[si].count - 1].size();
+      for (std::size_t i = shards[si].first;
+           i < shards[si].first + shards[si].count; ++i) {
+        const auto view = db[i].view();
+        seq_dir[i].blob_offset = out.offset();
+        seq_dir[i].length = view.size();
+        out.append(view.data(), view.size());
+        out.pad_to_alignment();
+      }
+      sh.blob_bytes = out.offset() - sh.blob_offset;
+    }
+    e.bytes = out.offset() - e.offset;
+    e.checksum = 0;  // per-shard checksums below
+  }
+
+  add_section(SectionKind::Permutation, perm.data(),
+              perm.size() * sizeof(std::uint64_t));
+  add_section(SectionKind::SigPopcounts, sig.popcounts().data(),
+              sig.popcounts().size() * sizeof(std::uint32_t));
+  add_section(SectionKind::SigLengths, sig.lengths().data(),
+              sig.lengths().size() * sizeof(std::uint32_t));
+  add_section(SectionKind::SigBlob, sig.blob().data(),
+              sig.blob().size() * sizeof(std::int32_t));
+  add_section(SectionKind::ProfileLutI8, lut8.data(),
+              lut8.size() * sizeof(std::int8_t));
+  add_section(SectionKind::ProfileLutI16, lut16.data(),
+              lut16.size() * sizeof(std::int16_t));
+  add_section(SectionKind::ProfileLutI32, lut32.data(),
+              lut32.size() * sizeof(std::int32_t));
+  if (next_section != kSectionCount) {
+    throw StoreError(StoreErrc::BadLayout, "builder wrote " +
+                                               std::to_string(next_section) +
+                                               " sections, expected " +
+                                               std::to_string(kSectionCount));
+  }
+  hdr.file_bytes = out.offset();
+
+  // ---- Patch directories, then checksum everything ------------------------
+  std::memcpy(out.at(seqdir_section->offset), seq_dir.data(),
+              seq_dir.size() * sizeof(SeqEntry));
+  for (std::size_t si = 0; si < shard_dir.size(); ++si) {
+    shard_dir[si].checksum =
+        fnv1a64(out.at(shard_dir[si].blob_offset), shard_dir[si].blob_bytes);
+  }
+  std::memcpy(out.at(shard_section->offset), shard_dir.data(),
+              shard_dir.size() * sizeof(ShardEntry));
+  for (SectionEntry& e : sections) {
+    if (e.flags & kSectionFlagPerShardChecksum) continue;
+    e.checksum = fnv1a64(out.at(e.offset), e.bytes);
+  }
+  (void)blob_section;
+
+  // Header checksum covers [0, header_bytes) with the field zeroed; the
+  // section table is written before hashing so it is covered too.
+  std::memcpy(out.at(sections_at), sections, sizeof sections);
+  hdr.header_checksum = 0;
+  std::memcpy(out.at(hdr_at), &hdr, sizeof hdr);
+  hdr.header_checksum = fnv1a64(out.at(0), hdr.header_bytes);
+  std::memcpy(out.at(hdr_at), &hdr, sizeof hdr);
+
+  return out.take();
+}
+
+void write_index(const std::string& path, seq::Database& db,
+                 const score::ScoreMatrix& matrix, const BuildParams& params) {
+  const std::vector<std::uint8_t> bytes =
+      build_index_bytes(db, matrix, params);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw StoreError(StoreErrc::IoError, "cannot create " + tmp);
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw StoreError(StoreErrc::IoError, "short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreError(StoreErrc::IoError,
+                     "cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace aalign::store

@@ -1,0 +1,200 @@
+// On-disk layout of the versioned aalign database index (docs/
+// database_format.md). One file holds everything a serving process needs
+// to become query-ready: the length-sorted shard directory, the packed
+// residue blob, the original-index permutation, the PR-7 signature index,
+// and the per-precision-tier score profile tables — all 64-byte aligned
+// so the loader can `mmap` the file and serve `seq::Database` zero-copy
+// straight off the page cache.
+//
+// Integrity model: the header (including the section table) carries one
+// checksum; every metadata section carries its own; the residue blob is
+// checksummed PER SHARD so a corrupt shard is named, not just detected.
+// Every byte of a well-formed file is covered by exactly one of those
+// checksums (alignment padding is zero-filled and checksummed with its
+// owning region), so any single bit flip is detectable. The loader
+// verifies the header + metadata at open (O(directory), independent of
+// residue volume — the O(1)-startup path) and the blob shards on demand
+// (`Verify::Full`, the `aalign_index verify` path).
+//
+// Compatibility policy (docs/database_format.md): the format version is
+// bumped on ANY layout change; readers reject files whose version or
+// endianness tag differ from their own — there are no in-place upgrades,
+// indexes are cheap to rebuild from FASTA (`aalign_index build`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace aalign::store {
+
+inline constexpr char kMagic[8] = {'A', 'A', 'L', 'N', 'I', 'D', 'X', '1'};
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+inline constexpr std::uint32_t kFormatVersion = 1;
+// Every section/sequence start is aligned to this many bytes in the file
+// (matches util::kVectorAlignment so mapped residues can feed aligned
+// vector loads).
+inline constexpr std::size_t kFileAlignment = 64;
+// Entries per row of the per-tier score profile tables; mirrors
+// core/inter_kernel.h's kLutStride (the in-register table_lookup layout).
+inline constexpr std::uint32_t kProfileLutStride = 64;
+
+// The format's checksum and fingerprint hash: FNV-1a run over 64-bit
+// little-endian lanes with a byte-wise tail. Lane-wise rather than
+// byte-wise so Verify::Directory stays cheap on megabyte metadata
+// sections (one multiply per 8 bytes keeps attach time in the O(1)-
+// startup budget); the lane count still advances the state, so inputs
+// differing only in trailing zero bytes hash differently. Not
+// cryptographic — the threat model is truncation and bit rot, not an
+// adversary.
+inline std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                             std::uint64_t seed = 14695981039346656037ull) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, sizeof w);
+    h ^= w;
+    h *= kPrime;
+  }
+  for (; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+// Section identities; the section table always holds all of them in this
+// order (a section absent from a particular database has bytes == 0).
+enum class SectionKind : std::uint32_t {
+  ShardDir = 1,       // ShardEntry[shard_count]
+  SeqDir = 2,         // SeqEntry[seq_count]
+  IdBlob = 3,         // concatenated sequence ids (no terminators)
+  SeqBlob = 4,        // packed residues, per-shard checksums
+  Permutation = 5,    // u64[seq_count]: orig[pos] = original index
+  SigPopcounts = 6,   // u32[seq_count]
+  SigLengths = 7,     // u32[seq_count]
+  SigBlob = 8,        // i32[seq_count * sig_words]
+  ProfileLutI8 = 9,   // i8 [alpha][kProfileLutStride]
+  ProfileLutI16 = 10, // i16[alpha][kProfileLutStride]
+  ProfileLutI32 = 11, // i32[alpha][kProfileLutStride]
+};
+inline constexpr std::uint32_t kSectionCount = 11;
+
+// Per-shard checksum flag on the SeqBlob section: its section-level
+// checksum field is unused (0); integrity lives in ShardEntry::checksum.
+inline constexpr std::uint32_t kSectionFlagPerShardChecksum = 1;
+
+struct SectionEntry {
+  std::uint32_t kind = 0;   // SectionKind
+  std::uint32_t flags = 0;
+  std::uint64_t offset = 0;  // absolute file offset, kFileAlignment-aligned
+  std::uint64_t bytes = 0;   // padded (checksummed) size
+  std::uint64_t checksum = 0;
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+struct ShardEntry {
+  std::uint64_t first_seq = 0;   // position of the shard's first sequence
+  std::uint64_t seq_count = 0;
+  std::uint64_t blob_offset = 0;  // absolute file offset of the residues
+  std::uint64_t blob_bytes = 0;   // padded (checksummed) size
+  std::uint64_t max_len = 0;      // residue bounds (length-sorted: the
+  std::uint64_t min_len = 0;      // shard directory is itself sorted)
+  std::uint64_t checksum = 0;     // fnv1a64 of [blob_offset, +blob_bytes)
+  std::uint64_t reserved = 0;
+};
+static_assert(sizeof(ShardEntry) == 64);
+
+struct SeqEntry {
+  std::uint64_t blob_offset = 0;  // absolute file offset of the residues
+  std::uint64_t length = 0;       // residue count (unpadded)
+  std::uint64_t id_offset = 0;    // into the IdBlob section payload
+  std::uint32_t id_bytes = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(SeqEntry) == 32);
+
+// Fixed-size header at offset 0, followed immediately by the section
+// table; `header_bytes` spans both (plus padding to kFileAlignment) and
+// is the range `header_checksum` covers (with the checksum field itself
+// zeroed during hashing).
+struct Header {
+  char magic[8] = {};
+  std::uint32_t endian_tag = 0;
+  std::uint32_t format_version = 0;
+  std::uint64_t header_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  // Deterministic digest of everything the builder consumed (matrix name,
+  // alphabet, filter params, every id + residue string): two builds from
+  // identical inputs produce identical fingerprints AND identical files.
+  std::uint64_t build_fingerprint = 0;
+  std::uint64_t seq_count = 0;
+  std::uint64_t residue_total = 0;
+  std::uint64_t shard_count = 0;
+  std::uint32_t alphabet_size = 0;
+  std::uint32_t section_count = 0;
+  char matrix_name[24] = {};  // NUL-padded builder matrix
+  // filter::FilterParams the signature sections were built with.
+  std::uint32_t filter_k = 0;
+  std::uint32_t lut_stride = 0;  // kProfileLutStride at build time
+  std::uint64_t filter_bits = 0;
+  std::uint64_t sig_words = 0;  // int32 words per signature
+  double filter_threshold = 0.0;
+  std::uint64_t filter_min_subject = 0;
+  std::uint64_t filter_min_query = 0;
+  double filter_min_informative = 0.0;
+  double filter_near_margin = 0.0;
+  std::uint64_t filter_min_background = 0;
+  std::uint64_t header_checksum = 0;
+};
+static_assert(sizeof(Header) == 176);
+
+// ---------------------------------------------------------------------------
+// Structured load/build errors. Every reject path names a stable
+// `store.<code>` token (the string the CI corruption self-test greps), so
+// a corrupt, truncated, foreign-endian, or future-version file is always
+// a diagnosable error — never a crash, never silently wrong scores.
+// ---------------------------------------------------------------------------
+
+enum class StoreErrc {
+  IoError,          // store.io_error         open/stat/mmap/write failed
+  BadMagic,         // store.bad_magic        not an aalign index file
+  BadEndian,        // store.bad_endian       built on a foreign-endian host
+  BadVersion,       // store.bad_version      format version mismatch
+  Truncated,        // store.truncated        file shorter than declared
+  HeaderChecksum,   // store.header_checksum  header/section-table bit rot
+  SectionChecksum,  // store.section_checksum metadata section bit rot
+  ShardChecksum,    // store.shard_checksum   residue shard bit rot
+  BadLayout,        // store.bad_layout       internally inconsistent
+                    //                        offsets/counts/sizes
+};
+
+const char* store_errc_name(StoreErrc errc);  // the "store.<code>" token
+
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrc errc, const std::string& detail)
+      : std::runtime_error(std::string(store_errc_name(errc)) + ": " +
+                           detail),
+        errc_(errc) {}
+
+  StoreErrc errc() const { return errc_; }
+
+ private:
+  StoreErrc errc_;
+};
+
+// Counts one FASTA-parse fallback (`store.fallback_parses`): tools call
+// this when a requested index is unusable and they re-parse instead.
+void count_fallback_parse();
+
+inline std::size_t align_up(std::size_t n, std::size_t a = kFileAlignment) {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace aalign::store

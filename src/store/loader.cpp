@@ -1,0 +1,304 @@
+#include "store/loader.h"
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aalign::store {
+
+namespace {
+
+std::string at_path(const std::string& path, const std::string& what) {
+  return path + ": " + what;
+}
+
+// Payload (unpadded) byte count each section must hold for this header.
+std::uint64_t expected_payload_bytes(const Header& h, SectionKind kind) {
+  const std::uint64_t lut_rows =
+      static_cast<std::uint64_t>(h.alphabet_size) * h.lut_stride;
+  switch (kind) {
+    case SectionKind::ShardDir:
+      return h.shard_count * sizeof(ShardEntry);
+    case SectionKind::SeqDir:
+      return h.seq_count * sizeof(SeqEntry);
+    case SectionKind::IdBlob:
+      return 0;  // variable; validated via SeqDir id ranges
+    case SectionKind::SeqBlob:
+      return 0;  // variable; validated via shard/seq ranges
+    case SectionKind::Permutation:
+      return h.seq_count * sizeof(std::uint64_t);
+    case SectionKind::SigPopcounts:
+    case SectionKind::SigLengths:
+      return h.seq_count * sizeof(std::uint32_t);
+    case SectionKind::SigBlob:
+      return h.seq_count * h.sig_words * sizeof(std::int32_t);
+    case SectionKind::ProfileLutI8:
+      return lut_rows * sizeof(std::int8_t);
+    case SectionKind::ProfileLutI16:
+      return lut_rows * sizeof(std::int16_t);
+    case SectionKind::ProfileLutI32:
+      return lut_rows * sizeof(std::int32_t);
+  }
+  return 0;
+}
+
+}  // namespace
+
+MappedIndex MappedIndex::open(const std::string& path, Verify verify) {
+  const auto t0 = std::chrono::steady_clock::now();
+  MappedIndex idx;
+  idx.file_ = MappedFile::map(path);
+  const MappedFile& f = *idx.file_;
+
+  // ---- Header ------------------------------------------------------------
+  if (f.size() < sizeof(Header)) {
+    throw StoreError(StoreErrc::Truncated,
+                     at_path(path, "file shorter than the " +
+                                       std::to_string(sizeof(Header)) +
+                                       "-byte header (" +
+                                       std::to_string(f.size()) + " bytes)"));
+  }
+  std::memcpy(&idx.hdr_, f.data(), sizeof(Header));
+  const Header& h = idx.hdr_;
+  if (std::memcmp(h.magic, kMagic, sizeof kMagic) != 0) {
+    throw StoreError(StoreErrc::BadMagic,
+                     at_path(path, "not an aalign index file"));
+  }
+  if (h.endian_tag != kEndianTag) {
+    throw StoreError(
+        StoreErrc::BadEndian,
+        at_path(path, "endianness tag mismatch (built on a foreign-endian "
+                      "host); rebuild with aalign_index"));
+  }
+  if (h.format_version != kFormatVersion) {
+    obs::registry().counter("store.version_rejects").add(1);
+    throw StoreError(
+        StoreErrc::BadVersion,
+        at_path(path, "format version " + std::to_string(h.format_version) +
+                          ", this build reads only version " +
+                          std::to_string(kFormatVersion) +
+                          "; rebuild with aalign_index"));
+  }
+  const std::uint64_t min_header =
+      sizeof(Header) + kSectionCount * sizeof(SectionEntry);
+  if (h.header_bytes < min_header || h.header_bytes != align_up(h.header_bytes) ||
+      h.header_bytes > h.file_bytes || h.section_count != kSectionCount) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "inconsistent header geometry"));
+  }
+  if (f.size() < h.file_bytes) {
+    throw StoreError(
+        StoreErrc::Truncated,
+        at_path(path, "file is " + std::to_string(f.size()) +
+                          " bytes, header declares " +
+                          std::to_string(h.file_bytes)));
+  }
+  if (f.size() > h.file_bytes) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "trailing bytes beyond the declared size"));
+  }
+  if (h.filter_k < 1 || h.filter_bits == 0 || h.filter_bits % 512 != 0 ||
+      h.sig_words != h.filter_bits / 32 || h.lut_stride != kProfileLutStride ||
+      h.alphabet_size == 0) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "inconsistent filter/profile geometry"));
+  }
+
+  // Header checksum covers [0, header_bytes) with the field zeroed.
+  {
+    std::vector<std::uint8_t> copy(f.range(0, h.header_bytes),
+                                   f.range(0, h.header_bytes) + h.header_bytes);
+    Header* zeroed = reinterpret_cast<Header*>(copy.data());
+    zeroed->header_checksum = 0;
+    if (fnv1a64(copy.data(), copy.size()) != h.header_checksum) {
+      throw StoreError(StoreErrc::HeaderChecksum,
+                       at_path(path, "header/section-table checksum mismatch"));
+    }
+  }
+
+  // ---- Section table -----------------------------------------------------
+  const auto* sections = reinterpret_cast<const SectionEntry*>(
+      f.range(sizeof(Header), kSectionCount * sizeof(SectionEntry)));
+  std::uint64_t cursor = h.header_bytes;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionEntry& e = sections[i];
+    if (e.kind != i + 1) {
+      throw StoreError(StoreErrc::BadLayout,
+                       at_path(path, "section " + std::to_string(i) +
+                                         " has kind " + std::to_string(e.kind) +
+                                         ", expected " + std::to_string(i + 1)));
+    }
+    if (e.offset != cursor || e.bytes != align_up(e.bytes) ||
+        e.offset + e.bytes > h.file_bytes) {
+      throw StoreError(StoreErrc::BadLayout,
+                       at_path(path, "section " + std::to_string(e.kind) +
+                                         " breaks the file tiling"));
+    }
+    const std::uint64_t need = expected_payload_bytes(h, SectionKind(e.kind));
+    if (need != 0 && e.bytes != align_up(need)) {
+      throw StoreError(StoreErrc::BadLayout,
+                       at_path(path, "section " + std::to_string(e.kind) +
+                                         " size disagrees with the header "
+                                         "counts"));
+    }
+    cursor = e.offset + e.bytes;
+    if (e.flags & kSectionFlagPerShardChecksum) continue;
+    if (fnv1a64(f.range(e.offset, e.bytes), e.bytes) != e.checksum) {
+      throw StoreError(StoreErrc::SectionChecksum,
+                       at_path(path, "section " + std::to_string(e.kind) +
+                                         " checksum mismatch"));
+    }
+  }
+  if (cursor != h.file_bytes) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "sections do not tile the file"));
+  }
+
+  // ---- Directory cross-checks (still O(seq_count), no residue reads) -----
+  const SectionEntry& blob = idx.section(SectionKind::SeqBlob);
+  const SectionEntry& ids = idx.section(SectionKind::IdBlob);
+  const auto seqs = idx.seq_dir();
+  std::uint64_t residues = 0;
+  for (const SeqEntry& s : seqs) {
+    if (s.blob_offset < blob.offset || s.length > blob.bytes ||
+        s.blob_offset + s.length > blob.offset + blob.bytes ||
+        s.blob_offset % kFileAlignment != 0 ||
+        s.id_offset + s.id_bytes > ids.bytes) {
+      throw StoreError(StoreErrc::BadLayout,
+                       at_path(path, "sequence directory entry out of range"));
+    }
+    residues += s.length;
+  }
+  if (residues != h.residue_total) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "residue total disagrees with directory"));
+  }
+  std::uint64_t seq_cursor = 0;
+  for (const ShardEntry& sh : idx.shards()) {
+    if (sh.first_seq != seq_cursor || sh.seq_count == 0 ||
+        sh.blob_offset < blob.offset ||
+        sh.blob_offset + sh.blob_bytes > blob.offset + blob.bytes) {
+      throw StoreError(StoreErrc::BadLayout,
+                       at_path(path, "shard directory entry out of range"));
+    }
+    seq_cursor += sh.seq_count;
+  }
+  if (seq_cursor != h.seq_count) {
+    throw StoreError(StoreErrc::BadLayout,
+                     at_path(path, "shards do not cover every sequence"));
+  }
+
+  if (verify == Verify::Full) idx.verify_shards();
+
+  obs::registry().counter("store.mmap_bytes").add(f.size());
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  obs::registry().histogram("store.load_us").record(
+      static_cast<std::uint64_t>(us));
+  return idx;
+}
+
+const SectionEntry& MappedIndex::section(SectionKind kind) const {
+  const auto* sections = reinterpret_cast<const SectionEntry*>(
+      file_->range(sizeof(Header), kSectionCount * sizeof(SectionEntry)));
+  return sections[static_cast<std::uint32_t>(kind) - 1];
+}
+
+template <class T>
+std::span<const T> MappedIndex::typed_section(SectionKind kind,
+                                              std::size_t count) const {
+  const SectionEntry& e = section(kind);
+  return {reinterpret_cast<const T*>(file_->range(e.offset, count * sizeof(T))),
+          count};
+}
+
+std::span<const ShardEntry> MappedIndex::shards() const {
+  return typed_section<ShardEntry>(SectionKind::ShardDir, hdr_.shard_count);
+}
+
+std::span<const SeqEntry> MappedIndex::seq_dir() const {
+  return typed_section<SeqEntry>(SectionKind::SeqDir, hdr_.seq_count);
+}
+
+filter::FilterParams MappedIndex::filter_params() const {
+  filter::FilterParams p;
+  p.k = static_cast<int>(hdr_.filter_k);
+  p.bits = hdr_.filter_bits;
+  p.threshold = hdr_.filter_threshold;
+  p.min_subject = hdr_.filter_min_subject;
+  p.min_query = hdr_.filter_min_query;
+  p.min_informative = hdr_.filter_min_informative;
+  p.near_margin = hdr_.filter_near_margin;
+  p.min_background = hdr_.filter_min_background;
+  return p;
+}
+
+seq::Database MappedIndex::database() const {
+  const SectionEntry& ids = section(SectionKind::IdBlob);
+  const char* id_base =
+      reinterpret_cast<const char*>(file_->range(ids.offset, ids.bytes));
+  seq::Database db;
+  for (const SeqEntry& s : seq_dir()) {
+    seq::EncodedSequence enc;
+    enc.id.assign(id_base + s.id_offset, s.id_bytes);
+    enc.extern_data = file_->range(s.blob_offset, s.length);
+    enc.extern_size = s.length;
+    db.add(std::move(enc));
+  }
+  const auto perm =
+      typed_section<std::uint64_t>(SectionKind::Permutation, hdr_.seq_count);
+  db.adopt_permutation(std::vector<std::size_t>(perm.begin(), perm.end()));
+  db.set_backing(file_);
+  return db;
+}
+
+std::shared_ptr<const filter::SignatureIndex> MappedIndex::signatures() const {
+  const std::size_t n = hdr_.seq_count;
+  // Zero-copy: the index scans straight over the mapped sections (all
+  // 64-byte aligned by the format), pinned by the shared MappedFile.
+  return std::make_shared<const filter::SignatureIndex>(
+      filter_params(), n, hdr_.residue_total,
+      typed_section<std::int32_t>(SectionKind::SigBlob, n * hdr_.sig_words),
+      typed_section<std::uint32_t>(SectionKind::SigPopcounts, n),
+      typed_section<std::uint32_t>(SectionKind::SigLengths, n), file_);
+}
+
+std::span<const std::int8_t> MappedIndex::profile_lut_i8() const {
+  return typed_section<std::int8_t>(
+      SectionKind::ProfileLutI8,
+      static_cast<std::size_t>(hdr_.alphabet_size) * hdr_.lut_stride);
+}
+
+std::span<const std::int16_t> MappedIndex::profile_lut_i16() const {
+  return typed_section<std::int16_t>(
+      SectionKind::ProfileLutI16,
+      static_cast<std::size_t>(hdr_.alphabet_size) * hdr_.lut_stride);
+}
+
+std::span<const std::int32_t> MappedIndex::profile_lut_i32() const {
+  return typed_section<std::int32_t>(
+      SectionKind::ProfileLutI32,
+      static_cast<std::size_t>(hdr_.alphabet_size) * hdr_.lut_stride);
+}
+
+void MappedIndex::verify_shards() const {
+  const auto all = shards();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const ShardEntry& sh = all[i];
+    if (fnv1a64(file_->range(sh.blob_offset, sh.blob_bytes), sh.blob_bytes) !=
+        sh.checksum) {
+      throw StoreError(
+          StoreErrc::ShardChecksum,
+          at_path(file_->path(),
+                  "shard " + std::to_string(i) + " (sequences [" +
+                      std::to_string(sh.first_seq) + ", +" +
+                      std::to_string(sh.seq_count) +
+                      ")) residue checksum mismatch"));
+    }
+  }
+}
+
+}  // namespace aalign::store

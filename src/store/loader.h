@@ -1,0 +1,91 @@
+// mmap-backed index loading: the O(1)-startup half of the store layer.
+//
+// MappedIndex::open maps the file and verifies the header + every
+// metadata section checksum — work proportional to the DIRECTORY, never
+// to the residue volume — so a multi-gigabyte database is query-ready in
+// the time it takes to hash a few kilobytes of metadata. The residue
+// blob is verified per shard only under Verify::Full (the
+// `aalign_index verify` / CI corruption-fuzz path); the serving path
+// trusts the page cache and the per-shard checksums stay available for
+// offline audit.
+//
+// database() materializes a seq::Database whose EncodedSequences view
+// the mapped blob directly (ids are copied — they are tiny), pinned by
+// the shared MappedFile; signatures() rehydrates the persisted
+// SignatureIndex without hashing a single k-mer. Both are bit-identical
+// to what the FASTA-parse path would produce (tests/test_store.cpp
+// enforces this differentially).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "filter/signature.h"
+#include "seq/database.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+
+namespace aalign::store {
+
+enum class Verify {
+  Directory,  // header + metadata checksums (the O(1)-startup default)
+  Full,       // Directory + every per-shard residue-blob checksum
+};
+
+class MappedIndex {
+ public:
+  // Maps and validates `path`. Throws StoreError naming the first defect:
+  // store.io_error, store.bad_magic, store.bad_endian, store.bad_version
+  // (also bumps the store.version_rejects counter), store.truncated,
+  // store.header_checksum, store.section_checksum, store.bad_layout —
+  // plus store.shard_checksum under Verify::Full. On success records
+  // store.mmap_bytes and store.load_us.
+  static MappedIndex open(const std::string& path,
+                          Verify verify = Verify::Directory);
+
+  const Header& header() const { return hdr_; }
+  const std::string& path() const { return file_->path(); }
+  std::uint64_t file_bytes() const { return hdr_.file_bytes; }
+
+  std::span<const ShardEntry> shards() const;
+  std::span<const SeqEntry> seq_dir() const;
+
+  // Filter parameters the signature sections were built with.
+  filter::FilterParams filter_params() const;
+
+  // Zero-copy database in stored (length-sorted) order, with the
+  // original-index permutation installed and the mapping pinned via
+  // Database::set_backing.
+  seq::Database database() const;
+
+  // Prebuilt signature index (never bumps filter.index_builds).
+  std::shared_ptr<const filter::SignatureIndex> signatures() const;
+
+  // Per-precision-tier substitution tables, [alphabet_size][lut_stride]
+  // in core/inter_kernel.h's table_lookup row layout.
+  std::span<const std::int8_t> profile_lut_i8() const;
+  std::span<const std::int16_t> profile_lut_i16() const;
+  std::span<const std::int32_t> profile_lut_i32() const;
+
+  // Re-checks every per-shard residue checksum (the Verify::Full step).
+  // Throws StoreError(StoreErrc::ShardChecksum) naming the first bad
+  // shard.
+  void verify_shards() const;
+
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+ private:
+  MappedIndex() = default;
+
+  const SectionEntry& section(SectionKind kind) const;
+  template <class T>
+  std::span<const T> typed_section(SectionKind kind,
+                                   std::size_t count) const;
+
+  std::shared_ptr<const MappedFile> file_;
+  Header hdr_{};
+};
+
+}  // namespace aalign::store

@@ -1,0 +1,43 @@
+// Read-only memory-mapped file (the substrate of store::MappedIndex).
+//
+// One MappedFile is shared — via shared_ptr — by every Database and
+// SignatureIndex served from it, so the mapping lives exactly as long as
+// any zero-copy view into it; N processes mapping the same file share one
+// page-cache-resident copy. POSIX mmap only (the project's CI targets);
+// an empty file maps to a null region of size 0, which is legal.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace aalign::store {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Throws StoreError(StoreErrc::IoError) when the
+  // file cannot be opened, statted, or mapped.
+  static std::shared_ptr<const MappedFile> map(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  // Bounds-checked typed view: nullptr is never returned — out-of-range
+  // access throws StoreError(StoreErrc::Truncated) naming the range.
+  const std::uint8_t* range(std::uint64_t offset, std::uint64_t bytes) const;
+
+ private:
+  MappedFile() = default;
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace aalign::store

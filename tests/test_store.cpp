@@ -1,0 +1,552 @@
+// Store-layer test suite (docs/database_format.md): round-trip fidelity,
+// byte-identical deterministic rebuilds, the corruption-rejection table
+// (every mutation class -> its structured StoreErrc), loader edge cases,
+// and the load-bearing invariant of the whole PR: a search served from
+// the mmapped index is BIT-IDENTICAL - scores, top-k order, original
+// indices - to one served from the FASTA-parse path, across ISAs and
+// filter modes, single and batched.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "filter/signature.h"
+#include "obs/metrics.h"
+#include "score/matrices.h"
+#include "search/batch_scheduler.h"
+#include "search/database_search.h"
+#include "store/builder.h"
+#include "store/loader.h"
+#include "test_helpers.h"
+
+using namespace aalign;
+
+namespace {
+
+AlignConfig local_config() {
+  AlignConfig cfg;
+  cfg.kind = AlignKind::Local;
+  cfg.pen = Penalties::symmetric(10, 2);
+  return cfg;
+}
+
+// A deterministic workload with planted homologs so filtered searches
+// have real survivors and the top-k is not pure noise.
+std::vector<seq::EncodedSequence> make_workload(std::uint64_t seed,
+                                                std::size_t background,
+                                                std::size_t homologs,
+                                                std::size_t min_len = 40,
+                                                std::size_t max_len = 320) {
+  std::mt19937_64 rng(seed);
+  std::vector<seq::EncodedSequence> out;
+  std::uniform_int_distribution<std::size_t> len(min_len, max_len);
+  for (std::size_t i = 0; i < background; ++i) {
+    out.push_back({"bg" + std::to_string(i), test::random_protein(rng, len(rng))});
+  }
+  for (std::size_t i = 0; i < homologs && !out.empty(); ++i) {
+    out.push_back({"hom" + std::to_string(i),
+                   test::mutate(rng, out[i * 7 % background].data, 0.2, 0.03)});
+  }
+  return out;
+}
+
+seq::Database to_database(const std::vector<seq::EncodedSequence>& seqs) {
+  seq::Database db;
+  for (const auto& s : seqs) db.add(s);
+  return db;
+}
+
+// RAII temp index file: built once, deleted at scope exit.
+class TempIndex {
+ public:
+  TempIndex(seq::Database& db, const score::ScoreMatrix& matrix,
+            store::BuildParams params = {}) {
+    path_ = ::testing::TempDir() + "store_test_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".aidx";
+    store::write_index(path_, db, matrix, params);
+  }
+  ~TempIndex() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+// Asserts db A and B are indistinguishable through the public interface.
+void expect_same_database(const seq::Database& a, const seq::Database& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.total_residues(), b.total_residues());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "position " << i;
+    ASSERT_EQ(a[i].size(), b[i].size()) << "position " << i;
+    const auto va = a[i].view(), vb = b[i].view();
+    EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin())) << "position "
+                                                              << i;
+    EXPECT_EQ(a.original_index(i), b.original_index(i)) << "position " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Store, RoundTripPreservesDatabase) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(11, 60, 4);
+  seq::Database fasta_db = to_database(seqs);
+  seq::Database build_db = to_database(seqs);
+  TempIndex tmp(build_db, matrix);
+
+  fasta_db.sort_by_length_desc();  // what the search layer would do
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+  const seq::Database mapped = idx.database();
+  expect_same_database(fasta_db, mapped);
+  EXPECT_NE(mapped.backing(), nullptr);
+  EXPECT_EQ(idx.header().seq_count, fasta_db.size());
+  EXPECT_EQ(idx.header().residue_total, fasta_db.total_residues());
+  EXPECT_STREQ(idx.header().matrix_name, matrix.name().c_str());
+
+  // Stored order is length-sorted: every shard's bounds must agree.
+  for (const store::ShardEntry& sh : idx.shards()) {
+    EXPECT_GE(sh.max_len, sh.min_len);
+    EXPECT_EQ(mapped[sh.first_seq].size(), sh.max_len);
+    EXPECT_EQ(mapped[sh.first_seq + sh.seq_count - 1].size(), sh.min_len);
+  }
+}
+
+TEST(Store, RoundTripPreservesSignatures) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(12, 40, 2);
+  seq::Database db = to_database(seqs);
+  TempIndex tmp(db, matrix);  // sorts db in place
+
+  const filter::SignatureIndex fresh(db);
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+  const auto stored = idx.signatures();
+  ASSERT_NE(stored, nullptr);
+  ASSERT_EQ(stored->size(), fresh.size());
+  EXPECT_EQ(stored->words_per_signature(), fresh.words_per_signature());
+  EXPECT_TRUE(stored->matches(db));
+  const auto fb = fresh.blob(), sb = stored->blob();
+  ASSERT_EQ(fb.size(), sb.size());
+  EXPECT_TRUE(std::equal(fb.begin(), fb.end(), sb.begin()));
+  const auto fp = fresh.popcounts(), sp = stored->popcounts();
+  EXPECT_TRUE(std::equal(fp.begin(), fp.end(), sp.begin()));
+  const auto fl = fresh.lengths(), sl = stored->lengths();
+  EXPECT_TRUE(std::equal(fl.begin(), fl.end(), sl.begin()));
+}
+
+TEST(Store, ProfileLutsMatchMatrix) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(13, 10, 0);
+  seq::Database db = to_database(seqs);
+  TempIndex tmp(db, matrix);
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+
+  const int alpha = matrix.size();
+  const auto lut16 = idx.profile_lut_i16();
+  ASSERT_EQ(lut16.size(),
+            static_cast<std::size_t>(alpha) * store::kProfileLutStride);
+  for (int a = 0; a < alpha; ++a) {
+    for (int c = 0; c < alpha; ++c) {
+      EXPECT_EQ(lut16[static_cast<std::size_t>(a) * store::kProfileLutStride +
+                      static_cast<std::size_t>(c)],
+                static_cast<std::int16_t>(matrix.at(c, a)))
+          << "a=" << a << " c=" << c;
+    }
+    // Pad row + trailing entries are zero.
+    for (std::size_t c = static_cast<std::size_t>(alpha);
+         c < store::kProfileLutStride; ++c) {
+      EXPECT_EQ(lut16[static_cast<std::size_t>(a) * store::kProfileLutStride + c],
+                0);
+    }
+  }
+  EXPECT_EQ(idx.profile_lut_i8().size(), lut16.size());
+  EXPECT_EQ(idx.profile_lut_i32().size(), lut16.size());
+}
+
+TEST(Store, RebuildsAreByteIdentical) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(14, 50, 3);
+  seq::Database db1 = to_database(seqs);
+  seq::Database db2 = to_database(seqs);
+  const auto bytes1 = store::build_index_bytes(db1, matrix);
+  const auto bytes2 = store::build_index_bytes(db2, matrix);
+  EXPECT_EQ(bytes1, bytes2);
+
+  // And the fingerprint moves when the input does.
+  auto changed = seqs;
+  changed.front().data.push_back(3);
+  seq::Database db3 = to_database(changed);
+  const auto bytes3 = store::build_index_bytes(db3, matrix);
+  EXPECT_NE(bytes1, bytes3);
+}
+
+// ---------------------------------------------------------------------------
+// The differential gate: mmap-served search == FASTA-served search,
+// bit for bit, across ISA x filter mode, single-query and batched.
+// ---------------------------------------------------------------------------
+
+TEST(Store, MmapSearchBitIdenticalToFastaPath) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(15, 80, 6);
+  seq::Database build_db = to_database(seqs);
+  TempIndex tmp(build_db, matrix);
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+
+  std::mt19937_64 rng(99);
+  std::vector<std::vector<std::uint8_t>> queries;
+  queries.push_back(seqs[4].data);  // exact member: guaranteed strong hit
+  queries.push_back(test::mutate(rng, seqs[10].data, 0.25, 0.03));
+  queries.push_back(test::random_protein(rng, 150));
+
+  std::vector<simd::IsaKind> isas = {simd::IsaKind::Scalar};
+  if (simd::best_available_isa() != simd::IsaKind::Scalar) {
+    isas.push_back(simd::best_available_isa());
+  }
+  for (const simd::IsaKind isa : isas) {
+    for (const filter::FilterMode mode :
+         {filter::FilterMode::Off, filter::FilterMode::On}) {
+      search::SearchOptions opt;
+      opt.threads = 2;
+      opt.top_k = 10;
+      opt.query.isa = isa;
+      opt.filter.mode = mode;
+
+      // FASTA path: parse-order database, search sorts + indexes itself.
+      seq::Database fasta_db = to_database(seqs);
+      const search::DatabaseSearch fasta_engine(matrix, local_config(), opt);
+
+      // mmap path: stored order + prebuilt signatures.
+      seq::Database mapped_db = idx.database();
+      search::SearchOptions mopt = opt;
+      mopt.filter.index = idx.signatures();
+      const search::DatabaseSearch mmap_engine(matrix, local_config(), mopt);
+
+      for (const auto& q : queries) {
+        const search::SearchResult a = fasta_engine.search(q, fasta_db);
+        const search::SearchResult b = mmap_engine.search(q, mapped_db);
+        ASSERT_EQ(a.top.size(), b.top.size())
+            << simd::isa_name(isa) << " " << filter_mode_name(mode);
+        for (std::size_t r = 0; r < a.top.size(); ++r) {
+          EXPECT_EQ(a.top[r].index, b.top[r].index)
+              << "rank " << r << " " << simd::isa_name(isa) << " "
+              << filter_mode_name(mode);
+          EXPECT_EQ(a.top[r].score, b.top[r].score)
+              << "rank " << r << " " << simd::isa_name(isa) << " "
+              << filter_mode_name(mode);
+        }
+      }
+
+      // Batched path (tile scheduler) against the same pair of databases.
+      const auto fasta_many = fasta_engine.search_many(queries, fasta_db);
+      const auto mmap_many = mmap_engine.search_many(queries, mapped_db);
+      ASSERT_EQ(fasta_many.size(), mmap_many.size());
+      for (std::size_t qi = 0; qi < fasta_many.size(); ++qi) {
+        ASSERT_EQ(fasta_many[qi].top.size(), mmap_many[qi].top.size());
+        for (std::size_t r = 0; r < fasta_many[qi].top.size(); ++r) {
+          EXPECT_EQ(fasta_many[qi].top[r].index, mmap_many[qi].top[r].index);
+          EXPECT_EQ(fasta_many[qi].top[r].score, mmap_many[qi].top[r].score);
+        }
+      }
+    }
+  }
+}
+
+TEST(Store, PrebuiltIndexCountsReuseNotBuild) {
+  if (!obs::metrics_enabled()) GTEST_SKIP() << "metrics compiled out";
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(16, 50, 3);
+  seq::Database db = to_database(seqs);
+  TempIndex tmp(db, matrix);
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+  seq::Database mapped = idx.database();
+
+  search::SearchOptions opt;
+  opt.threads = 1;
+  opt.filter.mode = filter::FilterMode::On;
+  opt.filter.index = idx.signatures();
+  obs::Counter& builds = obs::registry().counter("filter.index_builds");
+  obs::Counter& reuses = obs::registry().counter("filter.index_reuses");
+  const std::uint64_t builds_before = builds.value();
+  const std::uint64_t reuses_before = reuses.value();
+
+  const search::DatabaseSearch engine(matrix, local_config(), opt);
+  std::mt19937_64 qrng(5);
+  const auto q = test::random_protein(qrng, 120);
+  engine.search(q, mapped);
+  EXPECT_EQ(builds.value(), builds_before);  // no k-mer was rehashed
+  EXPECT_GE(reuses.value(), reuses_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption-rejection table: every mutation class -> its StoreErrc.
+// ---------------------------------------------------------------------------
+
+class StoreCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+    const auto seqs = make_workload(17, 40, 2);
+    seq::Database db = to_database(seqs);
+    bytes_ = store::build_index_bytes(db, matrix);
+    path_ = ::testing::TempDir() + "store_corrupt_case.aidx";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes a mutated copy and returns the loader's rejection code.
+  store::StoreErrc open_expecting_error(
+      const std::vector<std::uint8_t>& mutated,
+      store::Verify verify = store::Verify::Full) {
+    write_file(path_, mutated);
+    try {
+      store::MappedIndex::open(path_, verify);
+    } catch (const store::StoreError& e) {
+      // The contract the CI fuzzer greps: what() starts with the token.
+      EXPECT_EQ(std::string(e.what()).rfind(store::store_errc_name(e.errc()), 0),
+                0u);
+      return e.errc();
+    }
+    ADD_FAILURE() << "loader accepted a corrupt file";
+    return store::StoreErrc::IoError;
+  }
+
+  std::vector<std::uint8_t> flipped(std::size_t offset, int bit = 0) const {
+    auto m = bytes_;
+    m[offset] ^= static_cast<std::uint8_t>(1 << bit);
+    return m;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::string path_;
+};
+
+TEST_F(StoreCorruption, TruncationsRejected) {
+  using store::StoreErrc;
+  EXPECT_EQ(open_expecting_error({}), StoreErrc::Truncated);
+  EXPECT_EQ(open_expecting_error({bytes_.begin(), bytes_.begin() + 100}),
+            StoreErrc::Truncated);
+  EXPECT_EQ(open_expecting_error(
+                {bytes_.begin(), bytes_.begin() + bytes_.size() / 2}),
+            StoreErrc::Truncated);
+  EXPECT_EQ(
+      open_expecting_error({bytes_.begin(), bytes_.begin() + bytes_.size() - 1}),
+      StoreErrc::Truncated);
+}
+
+TEST_F(StoreCorruption, HeaderFlipsRejected) {
+  using store::StoreErrc;
+  EXPECT_EQ(open_expecting_error(flipped(0)), StoreErrc::BadMagic);
+  EXPECT_EQ(open_expecting_error(flipped(8)), StoreErrc::BadEndian);
+  EXPECT_EQ(open_expecting_error(flipped(12)), StoreErrc::BadVersion);
+  // A flip anywhere else in the checksummed header range must be caught
+  // by geometry checks or the header checksum - walk a spread of offsets.
+  for (const std::size_t off : {40u, 80u, 120u, 160u, 200u, 400u}) {
+    const store::StoreErrc errc = open_expecting_error(flipped(off, 4));
+    EXPECT_TRUE(errc == StoreErrc::HeaderChecksum ||
+                errc == StoreErrc::BadLayout || errc == StoreErrc::Truncated)
+        << "offset " << off << " -> " << store::store_errc_name(errc);
+  }
+}
+
+TEST_F(StoreCorruption, PayloadFlipsRejected) {
+  using store::StoreErrc;
+  // Fixed verify tier: every payload byte is covered by a section or
+  // shard checksum, so a flip anywhere must surface one of the two.
+  std::size_t blob_mid = 0;
+  {
+    write_file(path_, bytes_);
+    const store::MappedIndex idx = store::MappedIndex::open(path_);
+    const store::SeqEntry first = idx.seq_dir().front();
+    blob_mid = first.blob_offset + first.length / 2;
+  }
+  const store::StoreErrc in_blob = open_expecting_error(flipped(blob_mid));
+  EXPECT_EQ(in_blob, StoreErrc::ShardChecksum);
+  const store::StoreErrc near_end =
+      open_expecting_error(flipped(bytes_.size() - 1, 7));
+  EXPECT_TRUE(near_end == StoreErrc::SectionChecksum ||
+              near_end == StoreErrc::ShardChecksum);
+}
+
+TEST_F(StoreCorruption, DirectoryVerifySkipsResidueBlob) {
+  // The O(1)-startup contract: a residue-blob flip passes Directory
+  // verification (no residue reads) but fails Full verification.
+  std::size_t blob_mid = 0;
+  {
+    write_file(path_, bytes_);
+    const store::MappedIndex idx = store::MappedIndex::open(path_);
+    const store::SeqEntry first = idx.seq_dir().front();
+    blob_mid = first.blob_offset + first.length / 2;
+  }
+  write_file(path_, flipped(blob_mid));
+  EXPECT_NO_THROW(store::MappedIndex::open(path_, store::Verify::Directory));
+  EXPECT_EQ(open_expecting_error(flipped(blob_mid), store::Verify::Full),
+            store::StoreErrc::ShardChecksum);
+}
+
+TEST_F(StoreCorruption, NewerFormatVersionRejected) {
+  // An index written by a FUTURE builder: version bumped and the header
+  // checksum made internally consistent again - the reject must come
+  // from the version gate, not the checksum, and must count.
+  auto m = bytes_;
+  store::Header hdr{};
+  std::memcpy(&hdr, m.data(), sizeof hdr);
+  hdr.format_version = store::kFormatVersion + 1;
+  hdr.header_checksum = 0;
+  std::memcpy(m.data(), &hdr, sizeof hdr);
+  const std::uint64_t sum = store::fnv1a64(m.data(), hdr.header_bytes);
+  hdr.header_checksum = sum;
+  std::memcpy(m.data(), &hdr, sizeof hdr);
+
+  obs::Counter& rejects = obs::registry().counter("store.version_rejects");
+  const std::uint64_t before = rejects.value();
+  EXPECT_EQ(open_expecting_error(m), store::StoreErrc::BadVersion);
+  if (obs::metrics_enabled()) {
+    EXPECT_EQ(rejects.value(), before + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loader edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(StoreEdge, EmptyDatabaseRoundTrips) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  seq::Database db;
+  TempIndex tmp(db, matrix);
+  const store::MappedIndex idx =
+      store::MappedIndex::open(tmp.path(), store::Verify::Full);
+  EXPECT_EQ(idx.header().seq_count, 0u);
+  EXPECT_EQ(idx.header().shard_count, 0u);
+  const seq::Database mapped = idx.database();
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_EQ(mapped.total_residues(), 0u);
+  const auto sig = idx.signatures();
+  EXPECT_EQ(sig->size(), 0u);
+}
+
+TEST(StoreEdge, SingleSequencePerShard) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(18, 7, 0);
+  seq::Database db = to_database(seqs);
+  store::BuildParams params;
+  params.shard_target_residues = 1;  // every sequence overflows the budget
+  TempIndex tmp(db, matrix, params);
+  const store::MappedIndex idx =
+      store::MappedIndex::open(tmp.path(), store::Verify::Full);
+  EXPECT_EQ(idx.header().shard_count, seqs.size());
+  for (const store::ShardEntry& sh : idx.shards()) {
+    EXPECT_EQ(sh.seq_count, 1u);
+    EXPECT_EQ(sh.min_len, sh.max_len);
+  }
+  expect_same_database(db, idx.database());
+}
+
+TEST(StoreEdge, ShardBoundaryExactlyAtPageSize) {
+  // 64 sequences x 64 residues, budget 4096: each sequence occupies one
+  // aligned 64-byte slot, shards fill to exactly the 4096-byte page, and
+  // every boundary lands on a page edge. The greedy packer must neither
+  // split a sequence nor leak one across the budget.
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  std::mt19937_64 rng(19);
+  seq::Database db;
+  for (int i = 0; i < 64; ++i) {
+    db.add({"pg" + std::to_string(i), test::random_protein(rng, 64)});
+  }
+  store::BuildParams params;
+  params.shard_target_residues = 4096;
+  TempIndex tmp(db, matrix, params);
+  const store::MappedIndex idx =
+      store::MappedIndex::open(tmp.path(), store::Verify::Full);
+  ASSERT_EQ(idx.header().shard_count, 1u);  // 64 * 64 == 4096 fits exactly
+  const store::ShardEntry sh = idx.shards().front();
+  EXPECT_EQ(sh.seq_count, 64u);
+  EXPECT_EQ(sh.blob_bytes, 4096u);  // exactly one page of residues
+
+  // One residue more than the budget: the 65th sequence starts shard 2.
+  db.add({"pg64", test::random_protein(rng, 64)});
+  TempIndex tmp2(db, matrix, params);
+  const store::MappedIndex idx2 =
+      store::MappedIndex::open(tmp2.path(), store::Verify::Full);
+  EXPECT_EQ(idx2.header().shard_count, 2u);
+  EXPECT_EQ(idx2.shards()[0].seq_count, 64u);
+  EXPECT_EQ(idx2.shards()[1].seq_count, 1u);
+}
+
+TEST(StoreEdge, TwoDatabasesShareOneMapping) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(20, 30, 2);
+  seq::Database db = to_database(seqs);
+  TempIndex tmp(db, matrix);
+
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+  seq::Database a = idx.database();
+  seq::Database b = idx.database();
+  // Same mapping, zero residue copies: the views alias byte for byte.
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].view().data(), b[i].view().data()) << "position " << i;
+  }
+  EXPECT_EQ(a.backing(), b.backing());
+
+  // Both stay valid and searchable after the MappedIndex handle dies.
+  search::SearchOptions opt;
+  opt.threads = 1;
+  std::mt19937_64 rng(21);
+  const auto q = test::random_protein(rng, 100);
+  search::SearchResult ra, rb;
+  {
+    seq::Database c = idx.database();
+    const search::DatabaseSearch engine(matrix, local_config(), opt);
+    ra = engine.search(q, a);
+    rb = engine.search(q, c);
+  }
+  ASSERT_EQ(ra.top.size(), rb.top.size());
+  for (std::size_t r = 0; r < ra.top.size(); ++r) {
+    EXPECT_EQ(ra.top[r].index, rb.top[r].index);
+    EXPECT_EQ(ra.top[r].score, rb.top[r].score);
+  }
+}
+
+TEST(StoreEdge, SortingAMappedDatabaseIsANoOp) {
+  const score::ScoreMatrix& matrix = score::ScoreMatrix::blosum62();
+  const auto seqs = make_workload(22, 25, 1);
+  seq::Database db = to_database(seqs);
+  TempIndex tmp(db, matrix);
+  const store::MappedIndex idx = store::MappedIndex::open(tmp.path());
+  seq::Database mapped = idx.database();
+  std::vector<const std::uint8_t*> ptrs;
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    ptrs.push_back(mapped[i].view().data());
+  }
+  mapped.sort_by_length_desc();  // already length-sorted: must not move
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    EXPECT_EQ(mapped[i].view().data(), ptrs[i]) << "position " << i;
+    EXPECT_EQ(mapped.original_index(i), db.original_index(i));
+  }
+}
+
+TEST(StoreEdge, AdoptPermutationValidates) {
+  seq::Database db;
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 4; ++i) {
+    db.add({"s" + std::to_string(i), test::random_protein(rng, 10)});
+  }
+  EXPECT_THROW(db.adopt_permutation({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(db.adopt_permutation({0, 1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(db.adopt_permutation({0, 1, 2, 7}), std::invalid_argument);
+  db.adopt_permutation({3, 1, 0, 2});
+  EXPECT_EQ(db.original_index(0), 3u);
+  EXPECT_EQ(db.position_of(3), 0u);
+  db.adopt_permutation({0, 1, 2, 3});  // identity folds back to unpermuted
+  EXPECT_FALSE(db.permuted());
+}

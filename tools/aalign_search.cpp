@@ -8,6 +8,8 @@
 // Options:
 //   -q FILE          query FASTA (first record is used)
 //   -d FILE          database FASTA
+//   --db-index FILE  prebuilt binary index (aalign_index build); mmap-
+//                    attached in O(1), falls back to -d on any defect
 //   --demo           generate a synthetic query and database
 //   --matrix NAME    blosum45|blosum62|blosum80|pam250   [blosum62]
 //   --kind NAME      local|global|semiglobal             [local]
@@ -40,6 +42,7 @@
 #include "seq/fasta.h"
 #include "seq/generator.h"
 #include "seq/pairgen.h"
+#include "store/loader.h"
 
 using namespace aalign;
 
@@ -83,7 +86,9 @@ void print_help() {
   std::printf(
       "aalign_search - SIMD pairwise-alignment database search\n"
       "  aalign_search -q query.fasta -d db.fasta [options]\n"
+      "  aalign_search -q query.fasta --db-index db.aidx [options]\n"
       "  aalign_search --demo\n\n"
+      "  --db-index FILE  mmap a prebuilt index (aalign_index build)\n"
       "  --matrix blosum45|blosum62|blosum80|pam250   [blosum62]\n"
       "  --kind local|global|semiglobal               [local]\n"
       "  --open N / --ext N                           [10 / 2]\n"
@@ -149,7 +154,7 @@ void print_result(const seq::Sequence& query,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string query_path, db_path, matrix_name = "blosum62";
+  std::string query_path, db_path, db_index_path, matrix_name = "blosum62";
   std::string kind_name = "local", strategy_name = "hybrid";
   std::string isa_name_opt, width_name = "auto", format = "table";
   std::string filter_name = "off";
@@ -167,6 +172,7 @@ int main(int argc, char** argv) {
     };
     if (a == "-q") query_path = next();
     else if (a == "-d") db_path = next();
+    else if (a == "--db-index") db_index_path = next();
     else if (a == "--demo") demo = true;
     else if (a == "--matrix") matrix_name = next();
     else if (a == "--kind") kind_name = next();
@@ -210,15 +216,17 @@ int main(int argc, char** argv) {
                                               {seq::Level::Hi, lvl}));
     }
   } else {
-    if (query_path.empty() || db_path.empty()) {
+    if (query_path.empty() || (db_path.empty() && db_index_path.empty())) {
       print_help();
       return 2;
     }
     query_records = seq::read_fasta_file(query_path);
     if (query_records.empty()) die("no records in " + query_path);
     if (!batch) query_records.resize(1);  // first record only
-    raw = seq::read_fasta_file(db_path);
-    if (raw.empty()) die("no records in " + db_path);
+    if (db_index_path.empty()) {
+      raw = seq::read_fasta_file(db_path);
+      if (raw.empty()) die("no records in " + db_path);
+    }
   }
 
   AlignConfig cfg;
@@ -243,7 +251,35 @@ int main(int argc, char** argv) {
   }
   opt.filter.threshold = filter_threshold;
 
-  seq::Database db(alphabet, raw);
+  seq::Database db;
+  if (!demo && !db_index_path.empty()) {
+    // mmap attach: zero-copy database + prebuilt signature index. Any
+    // defect (corruption, version skew, wrong matrix) degrades to the
+    // FASTA parse path with the reason logged — never a crash.
+    try {
+      const store::MappedIndex idx = store::MappedIndex::open(db_index_path);
+      if (std::string(idx.header().matrix_name) != matrix.name()) {
+        throw std::runtime_error("index built for matrix '" +
+                                 std::string(idx.header().matrix_name) +
+                                 "', requested '" + matrix.name() + "'");
+      }
+      db = idx.database();
+      opt.filter.params = idx.filter_params();
+      opt.filter.index = idx.signatures();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "aalign_search: cannot use index %s (%s); falling back "
+                   "to FASTA parse\n",
+                   db_index_path.c_str(), e.what());
+      store::count_fallback_parse();
+      if (db_path.empty()) die("--db-index unusable and no -d to fall back on");
+      raw = seq::read_fasta_file(db_path);
+      if (raw.empty()) die("no records in " + db_path);
+      db = seq::Database(alphabet, raw);
+    }
+  } else {
+    db = seq::Database(alphabet, raw);
+  }
   opt.shard_size = shard_size;
   std::vector<std::vector<std::uint8_t>> qenc;
   qenc.reserve(query_records.size());

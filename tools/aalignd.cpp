@@ -5,10 +5,16 @@
 //
 // Usage:
 //   aalignd -d db.fasta [options]
+//   aalignd --db-index db.aidx      # mmap a prebuilt index, O(1) startup
 //   aalignd --demo-db 2000          # synthetic database
 //
 // Options:
 //   -d FILE            database FASTA
+//   --db-index FILE    prebuilt binary index (aalign_index build): the
+//                      database AND signature index attach by mmap in
+//                      O(1) instead of parse + sort + hash. Any defect
+//                      falls back to -d (reason logged) or fails fast
+//                      when no FASTA was given.
 //   --demo-db N        generate a synthetic database of N records
 //   --bind ADDR        listen address                   [127.0.0.1]
 //   --port N           listen port (0 = ephemeral)      [7731]
@@ -39,6 +45,7 @@
 #include "seq/generator.h"
 #include "service/tcp.h"
 #include "simd/isa.h"
+#include "store/loader.h"
 
 using namespace aalign;
 
@@ -64,7 +71,9 @@ void print_help() {
   std::printf(
       "aalignd - alignment service daemon (see docs/service.md)\n"
       "  aalignd -d db.fasta [options]\n"
+      "  aalignd --db-index db.aidx [options]\n"
       "  aalignd --demo-db 2000\n\n"
+      "  --db-index FILE  mmap a prebuilt index (aalign_index build)\n"
       "  --bind ADDR / --port N                       [127.0.0.1 / 7731]\n"
       "  --matrix blosum45|blosum62|blosum80|pam250   [blosum62]\n"
       "  --open N / --ext N                           [10 / 2]\n"
@@ -78,7 +87,7 @@ void print_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string db_path;
+  std::string db_path, db_index_path;
   std::size_t demo_db = 0;
   std::string matrix_name = "blosum62";
   std::string metrics_json;
@@ -101,6 +110,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (a == "-d") {
       db_path = next();
+    } else if (a == "--db-index") {
+      db_index_path = next();
     } else if (a == "--demo-db") {
       demo_db = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (a == "--bind") {
@@ -137,16 +148,52 @@ int main(int argc, char** argv) {
       die("unknown option '" + a + "'");
     }
   }
-  if (db_path.empty() && demo_db == 0) die("need -d FILE or --demo-db N");
+  if (db_path.empty() && db_index_path.empty() && demo_db == 0) {
+    die("need -d FILE, --db-index FILE, or --demo-db N");
+  }
 
   const score::ScoreMatrix& matrix = matrix_by_name(matrix_name);
   seq::Database db;
-  if (!db_path.empty()) {
-    db = seq::Database(matrix.alphabet(), seq::read_fasta_file(db_path));
-  } else {
-    seq::SequenceGenerator gen(42);
-    db = seq::Database(matrix.alphabet(),
-                       gen.protein_database(demo_db, 120.0, 0.6, 10, 400));
+  bool db_loaded = false;
+  if (!db_index_path.empty()) {
+    // O(1) startup: mmap the prebuilt index; the service-ready time no
+    // longer scales with database size (no parse, no sort, no k-mer
+    // hashing — AlignService skips its signature build because
+    // filter.index arrives prebuilt). A defective index degrades to the
+    // FASTA path with the reason logged, or fails fast without one.
+    try {
+      const store::MappedIndex idx = store::MappedIndex::open(db_index_path);
+      if (std::string(idx.header().matrix_name) != matrix.name()) {
+        throw std::runtime_error("index built for matrix '" +
+                                 std::string(idx.header().matrix_name) +
+                                 "', requested '" + matrix.name() + "'");
+      }
+      db = idx.database();
+      sopt.search.filter.params = idx.filter_params();
+      sopt.search.filter.index = idx.signatures();
+      db_loaded = true;
+      std::printf("aalignd: attached index %s (%zu subjects, %llu bytes)\n",
+                  db_index_path.c_str(), db.size(),
+                  static_cast<unsigned long long>(idx.file_bytes()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "aalignd: cannot use index %s (%s); falling back to "
+                   "FASTA parse\n",
+                   db_index_path.c_str(), e.what());
+      store::count_fallback_parse();
+      if (db_path.empty() && demo_db == 0) {
+        die("--db-index unusable and no -d to fall back on");
+      }
+    }
+  }
+  if (!db_loaded) {
+    if (!db_path.empty()) {
+      db = seq::Database(matrix.alphabet(), seq::read_fasta_file(db_path));
+    } else {
+      seq::SequenceGenerator gen(42);
+      db = seq::Database(matrix.alphabet(),
+                         gen.protein_database(demo_db, 120.0, 0.6, 10, 400));
+    }
   }
 
   AlignConfig cfg;
