@@ -42,20 +42,53 @@ QueryContext::QueryContext(const score::ScoreMatrix& matrix,
   const std::int32_t pad32 =
       cfg_.kind == AlignKind::Local ? simd::neg_inf<std::int32_t>() : 0;
 
+  // A tier builds from the attached LUT rows when they cover the
+  // alphabet, else from the matrix; the outputs are bit-identical
+  // (tests/test_gateway.cpp pins this differentially).
+  const int alpha = matrix_.size();
+  const auto lut_usable = [&](std::size_t span_size) {
+    return !opt_.lut.empty() &&
+           opt_.lut.stride >= static_cast<std::size_t>(alpha) &&
+           span_size >= static_cast<std::size_t>(alpha) * opt_.lut.stride;
+  };
+  bool attached = false;
   if (eng8_ != nullptr && want(ScoreWidth::W8)) {
-    score::build_striped_profile(prof8_, query, matrix_, eng8_->lanes(), pad8);
+    if (lut_usable(opt_.lut.i8.size())) {
+      score::build_striped_profile_lut(prof8_, query, opt_.lut.i8,
+                                       opt_.lut.stride, alpha, eng8_->lanes(),
+                                       pad8);
+      attached = true;
+    } else {
+      score::build_striped_profile(prof8_, query, matrix_, eng8_->lanes(),
+                                   pad8);
+    }
     widths_.push_back(ScoreWidth::W8);
   }
   if (eng16_ != nullptr && want(ScoreWidth::W16)) {
-    score::build_striped_profile(prof16_, query, matrix_, eng16_->lanes(),
-                                 pad16);
+    if (lut_usable(opt_.lut.i16.size())) {
+      score::build_striped_profile_lut(prof16_, query, opt_.lut.i16,
+                                       opt_.lut.stride, alpha,
+                                       eng16_->lanes(), pad16);
+      attached = true;
+    } else {
+      score::build_striped_profile(prof16_, query, matrix_, eng16_->lanes(),
+                                   pad16);
+    }
     widths_.push_back(ScoreWidth::W16);
   }
   if (eng32_ != nullptr && want(ScoreWidth::W32)) {
-    score::build_striped_profile(prof32_, query, matrix_, eng32_->lanes(),
-                                 pad32);
+    if (lut_usable(opt_.lut.i32.size())) {
+      score::build_striped_profile_lut(prof32_, query, opt_.lut.i32,
+                                       opt_.lut.stride, alpha,
+                                       eng32_->lanes(), pad32);
+      attached = true;
+    } else {
+      score::build_striped_profile(prof32_, query, matrix_, eng32_->lanes(),
+                                   pad32);
+    }
     widths_.push_back(ScoreWidth::W32);
   }
+  if (attached) obs::registry().counter("cache.profile.lut_attach").add();
   if (widths_.empty()) {
     throw std::invalid_argument(
         "QueryContext: no supported score width for this ISA/width request");

@@ -22,6 +22,13 @@ struct QueryOptions {
   simd::IsaKind isa = simd::IsaKind::Scalar;
   ScoreWidth width = ScoreWidth::Auto;  // Auto = adaptive 8->16->32
   HybridParams hybrid;
+  // Optional prebuilt substitution rows (the ProfileLut sections of a
+  // mapped .aidx): when attached, the striped profiles are filled from
+  // these rows instead of per-cell matrix lookups - bit-identical output
+  // (the profile cache therefore keys on neither), counted by
+  // cache.profile.lut_attach. A tier whose span is absent or undersized
+  // silently falls back to the matrix build.
+  score::ProfileLutView lut;
 };
 
 struct WorkspaceSet {

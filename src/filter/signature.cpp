@@ -74,6 +74,7 @@ SignatureIndex::SignatureIndex(const seq::Database& db, FilterParams params)
     build_signature(view, blob_.data() + i * words_, &pc);
     popcounts_[i] = static_cast<std::uint32_t>(pc);
   }
+  win_count_ = count_;
   obs::registry().counter("filter.index_builds").add(count_ == 0 ? 0 : 1);
 }
 
@@ -96,6 +97,7 @@ SignatureIndex::SignatureIndex(FilterParams params, std::size_t count,
   std::copy(blob.begin(), blob.end(), blob_.data());
   popcounts_.assign(popcounts.begin(), popcounts.end());
   lengths_.assign(lengths.begin(), lengths.end());
+  win_count_ = count_;
 }
 
 SignatureIndex::SignatureIndex(FilterParams params, std::size_t count,
@@ -121,6 +123,35 @@ SignatureIndex::SignatureIndex(FilterParams params, std::size_t count,
   pop_p_ = popcounts.data();
   len_p_ = lengths.data();
   backing_ = std::move(backing);
+  win_count_ = count_;
+}
+
+SignatureIndex SignatureIndex::window(std::size_t first, std::size_t count,
+                                      std::size_t residues) const {
+  if (first + count > count_) {
+    throw std::invalid_argument("filter: window exceeds the signature blob");
+  }
+  SignatureIndex w;
+  w.params_ = params_;
+  w.count_ = count_;
+  w.words_ = words_;
+  w.win_first_ = first;
+  w.win_count_ = count;
+  w.residues_ = residues;
+  if (blob_p_ != nullptr) {
+    // Zero-copy source: the view shares the mapped arrays and backing.
+    w.blob_p_ = blob_p_;
+    w.pop_p_ = pop_p_;
+    w.len_p_ = len_p_;
+    w.backing_ = backing_;
+  } else {
+    // Owned source (AlignedBuffer is move-only): duplicate the arrays.
+    w.blob_.resize(count_ * words_);
+    std::copy(blob_data(), blob_data() + count_ * words_, w.blob_.data());
+    w.popcounts_.assign(pop_data(), pop_data() + count_);
+    w.lengths_.assign(len_data(), len_data() + count_);
+  }
+  return w;
 }
 
 void SignatureIndex::build_signature(std::span<const std::uint8_t> residues,
@@ -156,16 +187,16 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
                                  std::vector<std::uint8_t>& survivors,
                                  double threshold) const {
   const double thr = threshold < 0.0 ? params_.threshold : threshold;
-  survivors.assign(count_, std::uint8_t{1});
+  survivors.assign(win_count_, std::uint8_t{1});
   FilterStats fs;
-  fs.candidates = count_;
-  if (count_ == 0) return fs;
+  fs.candidates = win_count_;
+  if (win_count_ == 0) return fs;
 
   // Guard: a short or empty query signature cannot discriminate - pass
   // everything rather than risk recall.
   if (q.length < params_.min_query || q.popcount == 0) {
-    fs.survivors = count_;
-    fs.auto_pass = count_;
+    fs.survivors = win_count_;
+    fs.auto_pass = win_count_;
     return fs;
   }
 
@@ -178,14 +209,20 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
   // estimate (header comment): unrelated subjects cluster around the
   // composition-driven rate, homologs are the upper outliers, and the
   // median ignores them as long as they are under half the database.
+  // The sweep ALWAYS covers the full blob — a window() view still
+  // measures the whole-database background, which is what keeps shard
+  // verdicts bit-identical to a single-process scan (class comment).
   std::vector<std::uint64_t> and_bits(count_, 0);
   std::vector<double> rates;
   rates.reserve(count_);
+  const std::size_t win_end = win_first_ + win_count_;
   for (std::size_t i = 0; i < count_; ++i) {
     const std::uint32_t sb32 = pop_data()[i];
     if (len_data()[i] < params_.min_subject || sb32 == 0) {
-      ++fs.auto_pass;
-      ++fs.survivors;
+      if (i >= win_first_ && i < win_end) {
+        ++fs.auto_pass;
+        ++fs.survivors;
+      }
       continue;
     }
     and_bits[i] = fn(q.words.data(), blob_data() + i * words_, words_);
@@ -199,9 +236,10 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
     median_rate = *mid;
   }
 
-  // Pass 2: score each screened subject against the empirical background
-  // (uniform-hash expectation when the sample was too small to trust).
-  for (std::size_t i = 0; i < count_; ++i) {
+  // Pass 2: score each screened WINDOW subject against the empirical
+  // background (uniform-hash expectation when the sample was too small to
+  // trust).
+  for (std::size_t i = win_first_; i < win_end; ++i) {
     const std::uint32_t sb32 = pop_data()[i];
     if (len_data()[i] < params_.min_subject || sb32 == 0) continue;
     const double sb = static_cast<double>(sb32);
@@ -219,7 +257,7 @@ FilterStats SignatureIndex::scan(const QuerySignature& q, simd::IsaKind isa,
     if (score >= thr) {
       ++fs.survivors;
     } else {
-      survivors[i] = 0;
+      survivors[i - win_first_] = 0;
       if (score >= thr - params_.near_margin) ++fs.near_miss_drops;
     }
   }

@@ -146,7 +146,10 @@ class SignatureIndex {
                  std::span<const std::uint32_t> lengths,
                  std::shared_ptr<const void> backing);
 
-  std::size_t size() const { return count_; }
+  // Subjects this index SCREENS: the window size for a window() view,
+  // otherwise the whole blob. Serialization helpers below always cover
+  // the full blob (window views are never persisted).
+  std::size_t size() const { return win_count_; }
   const FilterParams& params() const { return params_; }
   std::size_t words_per_signature() const { return words_; }
   std::size_t residues() const { return residues_; }
@@ -166,10 +169,21 @@ class SignatureIndex {
   // (size + residue-total fingerprint; a re-added or re-sorted database
   // fails and must be re-indexed).
   bool matches(const seq::Database& db) const {
-    return count_ == db.size() && residues_ == db.total_residues();
+    return win_count_ == db.size() && residues_ == db.total_residues();
   }
 
   QuerySignature make_query_signature(std::span<const std::uint8_t> query) const;
+
+  // Shard-scoped view (gateway fleet, docs/deployment.md): screens only
+  // subjects [first, first+count) — survivors are indexed window-locally
+  // and matches() checks the SLICE database via `residues` — while the
+  // empirical background median is still measured over the FULL blob.
+  // That is what makes sharded filtering partition-invariant: each
+  // verdict depends only on (whole-database median, AND_i, s_i), so a
+  // shard fleet reproduces single-process drop decisions bit-for-bit.
+  // The view shares this index's storage (zero-copy backing included).
+  SignatureIndex window(std::size_t first, std::size_t count,
+                        std::size_t residues) const;
 
   // Screens every subject: survivors[i] = 1 to rescore exactly, 0 to
   // drop, indexed by CURRENT database position. `isa` picks the
@@ -189,8 +203,8 @@ class SignatureIndex {
 
   // Extern pointers are null for owned indexes (built or copy-rehydrated)
   // and set for zero-copy ones; the accessors pick whichever is live.
-  // Default copies are safe either way: owned copies re-point at their
-  // own vectors, extern copies share `backing_`.
+  // The class is move-only (AlignedBuffer); window() hand-rolls the copy
+  // it needs, sharing `backing_` for zero-copy sources.
   const std::int32_t* blob_data() const {
     return blob_p_ != nullptr ? blob_p_ : blob_.data();
   }
@@ -202,9 +216,12 @@ class SignatureIndex {
   }
 
   FilterParams params_;
-  std::size_t count_ = 0;
+  std::size_t count_ = 0;     // subjects in the blob (background population)
+  std::size_t win_first_ = 0; // screening window (window()); defaults to
+  std::size_t win_count_ = 0; // the whole blob for non-view indexes
   std::size_t words_ = 0;     // int32 words per signature
   std::size_t residues_ = 0;  // fingerprint: db.total_residues() at build
+                              // (window residues for a window() view)
   util::AlignedBuffer<std::int32_t> blob_;  // count_ * words_, 64-B strided
   std::vector<std::uint32_t> popcounts_;    // per-subject set-bit counts
   std::vector<std::uint32_t> lengths_;      // per-subject residue counts

@@ -29,6 +29,38 @@ void build_striped_profile(StripedProfile<T>& p,
   }
 }
 
+template <class T>
+void build_striped_profile_lut(StripedProfile<T>& p,
+                               std::span<const std::uint8_t> query,
+                               std::span<const T> lut, std::size_t stride,
+                               int alpha, int width, T pad) {
+  if (query.empty()) throw std::invalid_argument("profile: empty query");
+  if (width <= 0) throw std::invalid_argument("profile: bad vector width");
+  if (stride < static_cast<std::size_t>(alpha) ||
+      lut.size() < static_cast<std::size_t>(alpha) * stride) {
+    throw std::invalid_argument("profile: LUT smaller than the alphabet");
+  }
+
+  p.m = static_cast<int>(query.size());
+  p.width = width;
+  p.segs = (p.m + width - 1) / width;
+  p.alpha = alpha;
+  p.data.resize(static_cast<std::size_t>(p.alpha) * p.segs * width);
+
+  for (int a = 0; a < p.alpha; ++a) {
+    T* row = p.data.data() + static_cast<std::size_t>(a) * p.segs * width;
+    for (int j = 0; j < p.segs; ++j) {
+      for (int l = 0; l < width; ++l) {
+        const int logical = l * p.segs + j;
+        row[j * width + l] =
+            logical < p.m ? lut[query[logical] * stride +
+                                static_cast<std::size_t>(a)]
+                          : pad;
+      }
+    }
+  }
+}
+
 template void build_striped_profile<std::int8_t>(
     StripedProfile<std::int8_t>&, std::span<const std::uint8_t>,
     const ScoreMatrix&, int, std::int8_t);
@@ -38,5 +70,15 @@ template void build_striped_profile<std::int16_t>(
 template void build_striped_profile<std::int32_t>(
     StripedProfile<std::int32_t>&, std::span<const std::uint8_t>,
     const ScoreMatrix&, int, std::int32_t);
+
+template void build_striped_profile_lut<std::int8_t>(
+    StripedProfile<std::int8_t>&, std::span<const std::uint8_t>,
+    std::span<const std::int8_t>, std::size_t, int, int, std::int8_t);
+template void build_striped_profile_lut<std::int16_t>(
+    StripedProfile<std::int16_t>&, std::span<const std::uint8_t>,
+    std::span<const std::int16_t>, std::size_t, int, int, std::int16_t);
+template void build_striped_profile_lut<std::int32_t>(
+    StripedProfile<std::int32_t>&, std::span<const std::uint8_t>,
+    std::span<const std::int32_t>, std::size_t, int, int, std::int32_t);
 
 }  // namespace aalign::score

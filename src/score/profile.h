@@ -10,12 +10,30 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "score/matrices.h"
 #include "util/aligned_buffer.h"
 
 namespace aalign::score {
+
+// Prebuilt per-tier substitution rows, typically the ProfileLut sections
+// of a mapped .aidx index (store/format.h): lut[q * stride + a] holds the
+// tier-clamped matrix.at(a, q), one row per QUERY symbol. When attached
+// to QueryOptions, the striped-profile build reads these rows instead of
+// calling matrix.at per cell - bit-identical as long as the LUT was built
+// from the same matrix (the daemon checks the stored matrix name), since
+// the builder's clamp is the identity for every real matrix entry.
+struct ProfileLutView {
+  std::span<const std::int8_t> i8;
+  std::span<const std::int16_t> i16;
+  std::span<const std::int32_t> i32;
+  std::size_t stride = 0;
+  std::shared_ptr<const void> backing;  // pins the mapped file
+
+  bool empty() const { return stride == 0; }
+};
 
 template <class T>
 struct StripedProfile {
@@ -36,5 +54,16 @@ template <class T>
 void build_striped_profile(StripedProfile<T>& p,
                            std::span<const std::uint8_t> query,
                            const ScoreMatrix& matrix, int width, T pad);
+
+// LUT-fed variant: identical output, with the per-cell matrix lookup
+// replaced by a read of the prebuilt row `lut[query[logical] * stride]`.
+// `alpha` is the alphabet (row length actually consumed); `lut` must hold
+// at least alpha rows of `stride` entries. Padding cells still get `pad`
+// (the stored LUT's pad row is all-zero and is never read here).
+template <class T>
+void build_striped_profile_lut(StripedProfile<T>& p,
+                               std::span<const std::uint8_t> query,
+                               std::span<const T> lut, std::size_t stride,
+                               int alpha, int width, T pad);
 
 }  // namespace aalign::score

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "search/database_search.h"
@@ -40,6 +41,33 @@ inline std::vector<SearchHit> select_top_k(const std::vector<long>& scores,
                     hits.end(), [](const SearchHit& a, const SearchHit& b) {
                       return a.score != b.score ? a.score > b.score
                                                 : a.index < b.index;
+                    });
+  hits.resize(k);
+  return hits;
+}
+
+// select_top_k under a remapped index order: ties resolve to the lower
+// MAPPED index (`index_map[i]`, e.g. the fleet-global original index of a
+// shard slice) while the returned hits keep the LOCAL index `i` so the
+// caller can still address its own database. With per-shard maps drawn
+// from one global order, per-slice top-k lists merge into exactly the
+// single-database select_top_k result. An empty map means identity.
+inline std::vector<SearchHit> select_top_k_mapped(
+    const std::vector<long>& scores, std::size_t top_k,
+    std::span<const std::size_t> index_map) {
+  if (index_map.empty()) return select_top_k(scores, top_k);
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    hits.push_back(SearchHit{i, scores[i]});
+  }
+  const std::size_t k = std::min(top_k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                    hits.end(),
+                    [index_map](const SearchHit& a, const SearchHit& b) {
+                      return a.score != b.score
+                                 ? a.score > b.score
+                                 : index_map[a.index] < index_map[b.index];
                     });
   hits.resize(k);
   return hits;

@@ -1,18 +1,62 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
 namespace aalign::service {
 
-ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
+namespace {
+
+// Completes a connect() on a non-blocking socket within `timeout_ms`.
+// Returns "" on success, else the failure description.
+std::string connect_bounded(int fd, const sockaddr_in& addr,
+                            std::int64_t timeout_ms) {
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    return "";
+  }
+  if (errno != EINPROGRESS) {
+    return std::string("connect failed: ") + std::strerror(errno);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return "connect timed out";
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return std::string("poll failed: ") + std::strerror(errno);
+    }
+    if (rc == 0) return "connect timed out";
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return std::string("getsockopt failed: ") + std::strerror(errno);
+    }
+    if (err != 0) {
+      return std::string("connect failed: ") + std::strerror(err);
+    }
+    return "";
+  }
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(const std::string& host, std::uint16_t port,
+                             std::int64_t connect_timeout_ms) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
   sockaddr_in addr{};
@@ -23,13 +67,16 @@ ServiceClient::ServiceClient(const std::string& host, std::uint16_t port) {
     fd_ = -1;
     throw std::runtime_error("ServiceClient: bad host address " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const int err = errno;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (connect_timeout_ms <= 0) connect_timeout_ms = kDefaultConnectTimeoutMs;
+  const std::string err = connect_bounded(fd_, addr, connect_timeout_ms);
+  if (!err.empty()) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error(std::string("ServiceClient: connect failed: ") +
-                             std::strerror(err));
+    throw std::runtime_error("ServiceClient: " + err);
   }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking for the send/read paths
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
@@ -86,6 +133,58 @@ WireResponse ServiceClient::read_response() {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      return error_response(0, ErrorCode::Internal,
+                            std::string("recv failed: ") +
+                                std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+WireResponse ServiceClient::read_response_until(
+    std::chrono::steady_clock::time_point deadline,
+    const core::CancelToken* cancel) {
+  char chunk[65536];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      std::string err;
+      const obs::Json doc = obs::Json::parse(line, &err);
+      return parse_response(doc);
+    }
+    if (cancel != nullptr && cancel->stop_requested()) {
+      const auto code = cancel->stop_reason() == core::StopReason::Cancelled
+                            ? ErrorCode::Cancelled
+                            : ErrorCode::DeadlineExceeded;
+      return error_response(0, code, "request stopped awaiting response");
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      return error_response(0, ErrorCode::DeadlineExceeded,
+                            "response timed out");
+    }
+    // Short poll slices keep the cancel token responsive even when the
+    // deadline is far away.
+    const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+        left.count(), cancel != nullptr ? 10 : 100));
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) {
+      return error_response(0, ErrorCode::Internal,
+                            std::string("poll failed: ") +
+                                std::strerror(errno));
+    }
+    if (rc <= 0) continue;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return error_response(0, ErrorCode::Internal,
+                            "connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return error_response(0, ErrorCode::Internal,
                             std::string("recv failed: ") +
                                 std::strerror(errno));

@@ -4,17 +4,26 @@
 // code path a real client would take.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "core/cancel.h"
 #include "service/protocol.h"
 
 namespace aalign::service {
 
 class ServiceClient {
  public:
-  // Connects immediately; throws std::runtime_error on failure.
-  ServiceClient(const std::string& host, std::uint16_t port);
+  static constexpr std::int64_t kDefaultConnectTimeoutMs = 5000;
+
+  // Connects immediately; throws std::runtime_error on failure. The
+  // connect is non-blocking under the hood and bounded by
+  // `connect_timeout_ms` (a dead or blackholed peer fails fast instead
+  // of hanging in the kernel's SYN retries - the gateway relies on this
+  // to detect a down shard within its deadline budget).
+  ServiceClient(const std::string& host, std::uint16_t port,
+                std::int64_t connect_timeout_ms = kDefaultConnectTimeoutMs);
   ~ServiceClient();
 
   ServiceClient(const ServiceClient&) = delete;
@@ -36,6 +45,15 @@ class ServiceClient {
 
   // Blocks for the next response line (pairs with send_only/send_raw).
   WireResponse read_response();
+
+  // Bounded wait for the next response line: polls the socket until a
+  // full line arrives, `deadline` passes (DeadlineExceeded), or `cancel`
+  // fires (Cancelled / DeadlineExceeded by its stop reason). On either
+  // early return the connection still has a response in flight, so the
+  // caller must close() before reusing it - the in-order pairing of the
+  // wire protocol would otherwise desynchronize.
+  WireResponse read_response_until(std::chrono::steady_clock::time_point deadline,
+                                   const core::CancelToken* cancel = nullptr);
 
   // Hard-closes the connection (idempotent; the destructor calls it).
   void close();

@@ -103,6 +103,7 @@ obs::Json response_json(const WireResponse& resp) {
   }
   doc.set("degraded", resp.degraded);
   doc.set("filtered", resp.filtered);
+  if (resp.incomplete) doc.set("incomplete", true);
   doc.set("queue_ms", resp.queue_ms);
   doc.set("exec_ms", resp.exec_ms);
   obs::Json results = obs::Json::array();
@@ -140,6 +141,7 @@ WireResponse parse_response(const obs::Json& doc) {
   }
   resp.degraded = doc["degraded"].as_bool();
   if (const obs::Json* f = doc.find("filtered")) resp.filtered = f->as_bool();
+  if (const obs::Json* p = doc.find("incomplete")) resp.incomplete = p->as_bool();
   resp.queue_ms = doc["queue_ms"].as_double();
   resp.exec_ms = doc["exec_ms"].as_double();
   const obs::Json& results = doc["results"];

@@ -78,6 +78,12 @@ struct WireResponse {
   bool degraded = false;   // served by the int8 fast path (scores may
                            // saturate at the 8-bit rail)
   bool filtered = false;   // the signature pre-filter screened subjects
+  // Partial-result contract (gateway fan-out, docs/deployment.md): true
+  // when one or more shards missed the deadline or were down, so `results`
+  // covers only the surviving partitions. Every hit present is still
+  // exact; a response is never silently partial - either this flag is set
+  // or the merge saw every shard.
+  bool incomplete = false;
   double queue_ms = 0.0;   // admission-to-dequeue wait
   double exec_ms = 0.0;    // alignment execution time
   std::vector<WireResult> results;  // one per query, request order

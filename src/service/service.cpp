@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <span>
+#include <stdexcept>
 
 #include "filter/signature.h"
 #include "obs/metrics.h"
@@ -40,6 +42,11 @@ AlignService::AlignService(const score::ScoreMatrix& matrix, AlignConfig cfg,
       db_(std::move(db)),
       queue_(opt.queue_capacity) {
   cfg_.validate();
+  if (!opt_.global_index_map.empty() &&
+      opt_.global_index_map.size() != db_.size()) {
+    throw std::invalid_argument(
+        "ServiceOptions::global_index_map size does not match the database");
+  }
   // Sort once at startup; every request then searches the same permuted
   // storage (results are reported in original-index terms regardless).
   if (opt_.search.sort_database) db_.sort_by_length_desc();
@@ -198,16 +205,22 @@ void AlignService::executor_loop(int executor_id) {
                       1000.0;
       resp.exec_ms = static_cast<double>(us_between(dequeued, finished)) /
                      1000.0;
+      // Shard-slice serving: ties break on (and wire hits carry) the
+      // fleet-global original index, so a gateway merge over disjoint
+      // slices reproduces the single-process ranking bit-for-bit.
+      const std::span<const std::size_t> gmap(opt_.global_index_map);
       for (const search::SearchResult& r : results) {
         resp.filtered = resp.filtered || r.filtered;
         WireResult out;
         for (const search::SearchHit& hit :
-             search::select_top_k(r.scores, p->req.top_k)) {
+             search::select_top_k_mapped(r.scores, p->req.top_k, gmap)) {
           // Filter-dropped subjects carry the sentinel score and sort as a
           // contiguous suffix; they never surface as hits.
           if (hit.score == filter::kDroppedScore) break;
+          const std::size_t wire_index =
+              gmap.empty() ? hit.index : gmap[hit.index];
           out.hits.push_back(WireHit{
-              hit.index, db_.by_original(hit.index).id, hit.score});
+              wire_index, db_.by_original(hit.index).id, hit.score});
         }
         resp.results.push_back(std::move(out));
       }

@@ -28,6 +28,7 @@
 
 #include "search/database_search.h"
 #include "seq/database.h"
+#include "service/handler.h"
 #include "service/request_queue.h"
 
 namespace aalign::service {
@@ -48,14 +49,22 @@ struct ServiceOptions {
   std::size_t max_query_len = 100000;   // residues per query
   std::size_t max_queries = 256;        // queries per request
   std::size_t max_top_k = 10000;
+
+  // Shard-slice serving (docs/deployment.md): maps this service's
+  // ORIGINAL database indices onto the fleet-global original indices.
+  // When non-empty (size must equal the database size), wire hits carry
+  // the mapped index and top-k ties break on the mapped order, so a
+  // gateway merge over disjoint slices reproduces the single-process
+  // result bit-for-bit. Empty = identity (the normal whole-database case).
+  std::vector<std::size_t> global_index_map;
 };
 
-class AlignService {
+class AlignService : public RequestHandler {
  public:
   // Takes ownership of the database (sorted longest-first once, here).
   AlignService(const score::ScoreMatrix& matrix, AlignConfig cfg,
                seq::Database db, ServiceOptions opt = {});
-  ~AlignService();  // implies shutdown()
+  ~AlignService() override;  // implies shutdown()
 
   AlignService(const AlignService&) = delete;
   AlignService& operator=(const AlignService&) = delete;
@@ -65,7 +74,7 @@ class AlignService {
   // completed with the structured error; nothing throws across this
   // boundary. The caller may fire handle->cancel to abandon the request
   // (client disconnect); the executor then completes it as `cancelled`.
-  std::shared_ptr<PendingRequest> submit(WireRequest req);
+  std::shared_ptr<PendingRequest> submit(WireRequest req) override;
 
   // Synchronous convenience: submit + wait.
   WireResponse execute(WireRequest req);

@@ -53,7 +53,7 @@ bool peer_disconnected(int fd) {
 
 }  // namespace
 
-TcpServer::TcpServer(AlignService& service, TcpServerOptions opt)
+TcpServer::TcpServer(RequestHandler& service, TcpServerOptions opt)
     : service_(service), opt_(std::move(opt)) {}
 
 TcpServer::~TcpServer() {

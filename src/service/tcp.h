@@ -2,7 +2,8 @@
 // newline-delimited JSON protocol (service/protocol.h), one thread per
 // connection, requests handled strictly in order per connection.
 //
-// Lifecycle wiring to AlignService:
+// Lifecycle wiring to the RequestHandler (handler.h - an AlignService
+// shard/whole-database executor or a Gateway scatter front end):
 //   * each request line is parsed and submit()ted; the connection thread
 //     waits on the PendingRequest while POLLING ITS SOCKET - a peer that
 //     disconnects mid-request fires the request's CancelToken, so an
@@ -22,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "service/service.h"
+#include "service/handler.h"
 
 namespace aalign::service {
 
@@ -36,7 +37,7 @@ struct TcpServerOptions {
 
 class TcpServer {
  public:
-  TcpServer(AlignService& service, TcpServerOptions opt = {});
+  TcpServer(RequestHandler& service, TcpServerOptions opt = {});
   ~TcpServer();  // implies request_stop() + join()
 
   TcpServer(const TcpServer&) = delete;
@@ -60,7 +61,7 @@ class TcpServer {
   void accept_loop();
   void serve_connection(int fd);
 
-  AlignService& service_;
+  RequestHandler& service_;
   TcpServerOptions opt_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

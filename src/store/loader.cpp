@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -264,6 +266,101 @@ std::shared_ptr<const filter::SignatureIndex> MappedIndex::signatures() const {
       typed_section<std::int32_t>(SectionKind::SigBlob, n * hdr_.sig_words),
       typed_section<std::uint32_t>(SectionKind::SigPopcounts, n),
       typed_section<std::uint32_t>(SectionKind::SigLengths, n), file_);
+}
+
+ShardSlice MappedIndex::shard_slice(std::size_t i, std::size_t n) const {
+  if (n == 0 || i >= n) {
+    throw std::invalid_argument("shard_slice: need i < n, got " +
+                                std::to_string(i) + "/" + std::to_string(n));
+  }
+  const auto all = shards();
+  const auto seqs = seq_dir();
+  // Exact per-shard residue totals from the sequence directory (blob_bytes
+  // includes per-sequence padding, so it is only an approximation).
+  std::vector<std::uint64_t> shard_residues(all.size(), 0);
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    for (std::uint64_t k = 0; k < all[s].seq_count; ++k) {
+      shard_residues[s] += seqs[all[s].first_seq + k].length;
+    }
+  }
+  // Greedy contiguous residue balancing: cut each slice once it holds its
+  // fair share of what remains. Deterministic, and every slice gets at
+  // least one shard while shards remain.
+  std::uint64_t remaining = hdr_.residue_total;
+  std::size_t shard = 0;
+  ShardSlice out;
+  for (std::size_t slice = 0; slice < n; ++slice) {
+    const std::size_t slices_left = n - slice;
+    const std::uint64_t target = remaining / slices_left;
+    const std::size_t first = shard;
+    std::uint64_t taken = 0;
+    while (shard < all.size()) {
+      // Leave at least one shard per remaining slice.
+      if (shard - first > 0 && all.size() - shard <= slices_left - 1) break;
+      if (shard - first > 0 && taken >= target) break;
+      taken += shard_residues[shard];
+      ++shard;
+    }
+    if (slice == i) {
+      out.first_shard = first;
+      out.shard_count = shard - first;
+      if (out.shard_count > 0) {
+        out.first_seq = all[first].first_seq;
+        for (std::size_t s = first; s < shard; ++s) {
+          out.seq_count += all[s].seq_count;
+        }
+        out.residues = taken;
+      }
+      return out;
+    }
+    remaining -= taken;
+  }
+  return out;  // unreachable: slice i handled inside the loop
+}
+
+seq::Database MappedIndex::database(const ShardSlice& slice) const {
+  const SectionEntry& ids = section(SectionKind::IdBlob);
+  const char* id_base =
+      reinterpret_cast<const char*>(file_->range(ids.offset, ids.bytes));
+  const auto seqs = seq_dir().subspan(slice.first_seq, slice.seq_count);
+  seq::Database db;
+  for (const SeqEntry& s : seqs) {
+    seq::EncodedSequence enc;
+    enc.id.assign(id_base + s.id_offset, s.id_bytes);
+    enc.extern_data = file_->range(s.blob_offset, s.length);
+    enc.extern_size = s.length;
+    db.add(std::move(enc));
+  }
+  db.set_backing(file_);
+  return db;
+}
+
+std::shared_ptr<const filter::SignatureIndex> MappedIndex::signatures(
+    const ShardSlice& slice) const {
+  const std::size_t n = hdr_.seq_count;
+  // A window() view over the FULL zero-copy blob, not a sliced blob: the
+  // filter's empirical background median is a whole-database statistic,
+  // so a slice-scoped index would make drop verdicts partition-dependent
+  // and break gateway/single-process bit-identity (docs/deployment.md).
+  // The view screens only [first_seq, first_seq + seq_count) and its
+  // matches() fingerprint is the slice's.
+  const auto blob =
+      typed_section<std::int32_t>(SectionKind::SigBlob, n * hdr_.sig_words);
+  const auto pops =
+      typed_section<std::uint32_t>(SectionKind::SigPopcounts, n);
+  const auto lens = typed_section<std::uint32_t>(SectionKind::SigLengths, n);
+  const filter::SignatureIndex full(filter_params(), n, hdr_.residue_total,
+                                    blob, pops, lens, file_);
+  return std::make_shared<const filter::SignatureIndex>(
+      full.window(slice.first_seq, slice.seq_count, slice.residues));
+}
+
+std::vector<std::size_t> MappedIndex::original_indices(
+    const ShardSlice& slice) const {
+  const auto perm =
+      typed_section<std::uint64_t>(SectionKind::Permutation, hdr_.seq_count);
+  const auto sub = perm.subspan(slice.first_seq, slice.seq_count);
+  return std::vector<std::size_t>(sub.begin(), sub.end());
 }
 
 std::span<const std::int8_t> MappedIndex::profile_lut_i8() const {

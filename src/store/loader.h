@@ -21,6 +21,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "filter/signature.h"
 #include "seq/database.h"
@@ -32,6 +33,22 @@ namespace aalign::store {
 enum class Verify {
   Directory,  // header + metadata checksums (the O(1)-startup default)
   Full,       // Directory + every per-shard residue-blob checksum
+};
+
+// A contiguous run of the index's shard directory, the partition unit of
+// a fleet deployment (docs/deployment.md): slice i of n covers shards
+// [first_shard, first_shard + shard_count) and therefore sequences
+// [first_seq, first_seq + seq_count) in stored order. Contiguity is what
+// keeps the sliced database and signature index zero-copy - both are
+// plain subranges of the mapped sections.
+struct ShardSlice {
+  std::size_t first_shard = 0;
+  std::size_t shard_count = 0;
+  std::size_t first_seq = 0;
+  std::size_t seq_count = 0;
+  std::uint64_t residues = 0;  // exact residue total of the slice
+
+  bool empty() const { return seq_count == 0; }
 };
 
 class MappedIndex {
@@ -62,6 +79,29 @@ class MappedIndex {
 
   // Prebuilt signature index (never bumps filter.index_builds).
   std::shared_ptr<const filter::SignatureIndex> signatures() const;
+
+  // Slice i of n: a residue-balanced contiguous partition of the shard
+  // directory (deterministic for a given index, so every fleet member
+  // computes the same split). Throws std::invalid_argument unless
+  // i < n. Slices beyond the shard count come back empty - aalignd
+  // refuses to serve one (docs/deployment.md covers sizing n).
+  ShardSlice shard_slice(std::size_t i, std::size_t n) const;
+
+  // Zero-copy database over one slice, in stored order and UNPERMUTED:
+  // a slice cannot carry the global permutation (its values fall outside
+  // [0, seq_count)), so the fleet-global original indices travel
+  // separately via original_indices() and are re-attached at the wire
+  // layer (ServiceOptions::global_index_map).
+  seq::Database database(const ShardSlice& slice) const;
+
+  // Prebuilt signature index over one slice (zero-copy subranges; the
+  // per-signature stride is a multiple of the 64-byte file alignment).
+  std::shared_ptr<const filter::SignatureIndex> signatures(
+      const ShardSlice& slice) const;
+
+  // Fleet-global ORIGINAL index of each slice sequence, in slice stored
+  // order (the Permutation section subrange).
+  std::vector<std::size_t> original_indices(const ShardSlice& slice) const;
 
   // Per-precision-tier substitution tables, [alphabet_size][lut_stride]
   // in core/inter_kernel.h's table_lookup row layout.

@@ -6,6 +6,7 @@
 // indices - to one served from the FASTA-parse path, across ISAs and
 // filter modes, single and batched.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -299,7 +300,12 @@ class StoreCorruption : public ::testing::Test {
     const auto seqs = make_workload(17, 40, 2);
     seq::Database db = to_database(seqs);
     bytes_ = store::build_index_bytes(db, matrix);
-    path_ = ::testing::TempDir() + "store_corrupt_case.aidx";
+    // Unique per process AND fixture instance: ctest runs each case as
+    // its own concurrent process, so a shared name would race (and the
+    // `this` address alone can coincide across processes).
+    path_ = ::testing::TempDir() + "store_corrupt_case_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".aidx";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

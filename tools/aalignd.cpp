@@ -3,10 +3,10 @@
 // per-request deadlines, cooperative cancellation, overload shedding, and
 // load-based degradation to the int8 fast path.
 //
-// Usage:
-//   aalignd -d db.fasta [options]
-//   aalignd --db-index db.aidx      # mmap a prebuilt index, O(1) startup
-//   aalignd --demo-db 2000          # synthetic database
+// Three roles, one binary (docs/deployment.md):
+//   aalignd -d db.fasta [options]          # single-process server
+//   aalignd --db-index db.aidx --shard 0/4 # shard member of a fleet
+//   aalignd --gateway --backend h:p ...    # scatter-gather front end
 //
 // Options:
 //   -d FILE            database FASTA
@@ -16,6 +16,14 @@
 //                      falls back to -d (reason logged) or fails fast
 //                      when no FASTA was given.
 //   --demo-db N        generate a synthetic database of N records
+//   --shard I/N        serve only slice I of an N-way partition of the
+//                      index's shard directory (requires --db-index; hits
+//                      carry fleet-global original indices)
+//   --gateway          scatter-gather mode: no database, fan out to the
+//                      --backend list and merge per-shard top-k
+//   --backend H:P      one shard backend (repeat per shard, shard order)
+//   --merge-budget-ms N  deadline headroom reserved for the merge  [20]
+//   --connect-timeout-ms N  per-backend connect bound              [1000]
 //   --bind ADDR        listen address                   [127.0.0.1]
 //   --port N           listen port (0 = ephemeral)      [7731]
 //   --matrix NAME      blosum45|blosum62|blosum80|pam250  [blosum62]
@@ -38,11 +46,14 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "filter/signature.h"
 #include "obs/export.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
+#include "service/gateway.h"
+#include "service/service.h"
 #include "service/tcp.h"
 #include "simd/isa.h"
 #include "store/loader.h"
@@ -69,11 +80,18 @@ const score::ScoreMatrix& matrix_by_name(const std::string& name) {
 
 void print_help() {
   std::printf(
-      "aalignd - alignment service daemon (see docs/service.md)\n"
+      "aalignd - alignment service daemon (see docs/service.md,\n"
+      "          docs/deployment.md for the fleet roles)\n"
       "  aalignd -d db.fasta [options]\n"
       "  aalignd --db-index db.aidx [options]\n"
+      "  aalignd --db-index db.aidx --shard I/N   fleet shard member\n"
+      "  aalignd --gateway --backend H:P ...      fleet front end\n"
       "  aalignd --demo-db 2000\n\n"
       "  --db-index FILE  mmap a prebuilt index (aalign_index build)\n"
+      "  --shard I/N      serve slice I of an N-way partition\n"
+      "  --gateway        scatter-gather over the --backend list\n"
+      "  --backend H:P    one shard backend (repeatable, shard order)\n"
+      "  --merge-budget-ms N / --connect-timeout-ms N [20 / 1000]\n"
       "  --bind ADDR / --port N                       [127.0.0.1 / 7731]\n"
       "  --matrix blosum45|blosum62|blosum80|pam250   [blosum62]\n"
       "  --open N / --ext N                           [10 / 2]\n"
@@ -84,6 +102,32 @@ void print_help() {
       "  --metrics-json FILE  run document on shutdown\n");
 }
 
+void write_metrics_doc(const std::string& path, const char* isa, int threads,
+                       obs::Json workload) {
+  obs::RunMeta meta;
+  meta.tool = "aalignd";
+  meta.isa = isa;
+  meta.threads = threads;
+  const obs::Snapshot snap = obs::registry().snapshot();
+  const obs::Json doc =
+      obs::make_run_document(meta, std::move(workload), obs::Json(), &snap);
+  if (!obs::write_json_file(path, doc)) {
+    std::fprintf(stderr, "aalignd: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("aalignd: wrote %s\n", path.c_str());
+}
+
+void wait_for_signal() {
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("aalignd: draining...\n");
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,10 +135,13 @@ int main(int argc, char** argv) {
   std::size_t demo_db = 0;
   std::string matrix_name = "blosum62";
   std::string metrics_json;
+  bool gateway_mode = false;
+  std::size_t shard_i = 0, shard_n = 0;  // --shard I/N; n == 0 = whole index
   service::ServiceOptions sopt;
   // Wire default: two-stage routing on for the regime it is calibrated
   // for (local alignment); requests override per call via "filter".
   sopt.search.filter.mode = filter::FilterMode::Auto;
+  service::GatewayOptions gopt;
   service::TcpServerOptions topt;
   topt.port = 7731;
   int open = 10, ext = 2;
@@ -114,6 +161,23 @@ int main(int argc, char** argv) {
       db_index_path = next();
     } else if (a == "--demo-db") {
       demo_db = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (a == "--shard") {
+      const std::string v = next();
+      const std::size_t slash = v.find('/');
+      if (slash == std::string::npos) die("--shard wants I/N (got '" + v + "')");
+      shard_i = static_cast<std::size_t>(std::atoll(v.substr(0, slash).c_str()));
+      shard_n = static_cast<std::size_t>(std::atoll(v.substr(slash + 1).c_str()));
+      if (shard_n == 0 || shard_i >= shard_n) {
+        die("--shard wants I < N, N >= 1 (got '" + v + "')");
+      }
+    } else if (a == "--gateway") {
+      gateway_mode = true;
+    } else if (a == "--backend") {
+      gopt.backends.push_back(next());
+    } else if (a == "--merge-budget-ms") {
+      gopt.merge_budget_ms = std::atoll(next().c_str());
+    } else if (a == "--connect-timeout-ms") {
+      gopt.connect_timeout_ms = std::atoll(next().c_str());
     } else if (a == "--bind") {
       topt.bind_addr = next();
     } else if (a == "--port") {
@@ -148,8 +212,48 @@ int main(int argc, char** argv) {
       die("unknown option '" + a + "'");
     }
   }
+
+  if (gateway_mode) {
+    // Front-end role: no database, no kernels - scatter to the backends
+    // and merge their per-shard top-k (src/service/gateway.h).
+    if (shard_n != 0 || !db_path.empty() || !db_index_path.empty() ||
+        demo_db != 0) {
+      die("--gateway takes no database options");
+    }
+    if (gopt.backends.empty()) die("--gateway needs --backend HOST:PORT");
+    service::Gateway gw(gopt);
+    service::TcpServer server(gw, topt);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aalignd: %s\n", e.what());
+      return 1;
+    }
+    std::printf("aalignd: gateway over %zu backends on %s:%u\n",
+                gw.backend_count(), topt.bind_addr.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    wait_for_signal();
+    server.request_stop();
+    server.join();   // connections finish their in-flight request
+    gw.shutdown();   // shard workers drain whatever is still queued
+    if (!metrics_json.empty()) {
+      obs::Json workload = obs::Json::object();
+      workload.set("backends", gw.backend_count());
+      workload.set("merge_budget_ms", gopt.merge_budget_ms);
+      write_metrics_doc(metrics_json, "none", 0, std::move(workload));
+    }
+    std::printf("aalignd: drained, exiting\n");
+    return 0;
+  }
+  if (gopt.backends.size() > 0) die("--backend requires --gateway");
+
   if (db_path.empty() && db_index_path.empty() && demo_db == 0) {
-    die("need -d FILE, --db-index FILE, or --demo-db N");
+    die("need -d FILE, --db-index FILE, --demo-db N, or --gateway");
+  }
+  if (shard_n != 0 && db_index_path.empty()) {
+    die("--shard requires --db-index (the index's shard directory is the "
+        "partition unit)");
   }
 
   const score::ScoreMatrix& matrix = matrix_by_name(matrix_name);
@@ -159,8 +263,9 @@ int main(int argc, char** argv) {
     // O(1) startup: mmap the prebuilt index; the service-ready time no
     // longer scales with database size (no parse, no sort, no k-mer
     // hashing — AlignService skips its signature build because
-    // filter.index arrives prebuilt). A defective index degrades to the
-    // FASTA path with the reason logged, or fails fast without one.
+    // filter.index arrives prebuilt, and the profile build reads the
+    // stored per-tier LUT rows). A defective index degrades to the FASTA
+    // path with the reason logged, or fails fast without one.
     try {
       const store::MappedIndex idx = store::MappedIndex::open(db_index_path);
       if (std::string(idx.header().matrix_name) != matrix.name()) {
@@ -168,14 +273,48 @@ int main(int argc, char** argv) {
                                  std::string(idx.header().matrix_name) +
                                  "', requested '" + matrix.name() + "'");
       }
-      db = idx.database();
+      if (shard_n != 0) {
+        const store::ShardSlice slice = idx.shard_slice(shard_i, shard_n);
+        if (slice.empty()) {
+          // Never serve an empty slice: the fleet was over-partitioned.
+          throw std::runtime_error(
+              "slice " + std::to_string(shard_i) + "/" +
+              std::to_string(shard_n) + " is empty (the index has only " +
+              std::to_string(idx.shards().size()) + " shards)");
+        }
+        db = idx.database(slice);
+        sopt.global_index_map = idx.original_indices(slice);
+        sopt.search.filter.index = idx.signatures(slice);
+        std::printf(
+            "aalignd: shard %zu/%zu = index shards [%zu, +%zu), "
+            "%zu subjects, %llu residues\n",
+            shard_i, shard_n, slice.first_shard, slice.shard_count,
+            slice.seq_count, static_cast<unsigned long long>(slice.residues));
+      } else {
+        db = idx.database();
+        sopt.search.filter.index = idx.signatures();
+      }
       sopt.search.filter.params = idx.filter_params();
-      sopt.search.filter.index = idx.signatures();
+      // Attach the stored per-tier profile LUTs: striped profiles build
+      // from the mapped rows instead of per-cell matrix lookups
+      // (cache.profile.lut_attach counts the uses; bit-identical by the
+      // matrix-name check above).
+      sopt.search.query.lut.i8 = idx.profile_lut_i8();
+      sopt.search.query.lut.i16 = idx.profile_lut_i16();
+      sopt.search.query.lut.i32 = idx.profile_lut_i32();
+      sopt.search.query.lut.stride = idx.header().lut_stride;
+      sopt.search.query.lut.backing = idx.file();
       db_loaded = true;
       std::printf("aalignd: attached index %s (%zu subjects, %llu bytes)\n",
                   db_index_path.c_str(), db.size(),
                   static_cast<unsigned long long>(idx.file_bytes()));
     } catch (const std::exception& e) {
+      if (shard_n != 0) {
+        // A shard member must not silently serve the whole database.
+        std::fprintf(stderr, "aalignd: cannot serve shard from %s: %s\n",
+                     db_index_path.c_str(), e.what());
+        return 2;
+      }
       std::fprintf(stderr,
                    "aalignd: cannot use index %s (%s); falling back to "
                    "FASTA parse\n",
@@ -215,36 +354,18 @@ int main(int argc, char** argv) {
               simd::isa_name(sopt.search.query.isa));
   std::fflush(stdout);
 
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGINT, on_signal);
-  while (g_stop == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
-
-  std::printf("aalignd: draining...\n");
-  std::fflush(stdout);
+  wait_for_signal();
   server.request_stop();
   server.join();    // every connection finishes its in-flight request
   svc.shutdown();   // executors drain whatever is still queued
 
   if (!metrics_json.empty()) {
-    obs::RunMeta meta;
-    meta.tool = "aalignd";
-    meta.isa = simd::isa_name(sopt.search.query.isa);
-    meta.threads = sopt.search.threads;
-    const obs::Snapshot snap = obs::registry().snapshot();
     obs::Json workload = obs::Json::object();
     workload.set("subjects", svc.database().size());
     workload.set("queue_capacity", sopt.queue_capacity);
     workload.set("degrade_depth", sopt.degrade_depth);
-    const obs::Json doc =
-        obs::make_run_document(meta, std::move(workload), obs::Json(), &snap);
-    if (!obs::write_json_file(metrics_json, doc)) {
-      std::fprintf(stderr, "aalignd: cannot write %s\n",
-                   metrics_json.c_str());
-      return 1;
-    }
-    std::printf("aalignd: wrote %s\n", metrics_json.c_str());
+    write_metrics_doc(metrics_json, simd::isa_name(sopt.search.query.isa),
+                      sopt.search.threads, std::move(workload));
   }
   std::printf("aalignd: drained, exiting\n");
   return 0;

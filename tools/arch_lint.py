@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Architecture linter for the aalign repo (CI: the lint job).
 
-Four checks, all against the working tree, all driven by the
+Five checks, all against the working tree, all driven by the
 machine-readable blocks in docs/architecture.md ("Checked invariants") so
 the documentation and the linter cannot drift apart:
 
@@ -9,13 +9,18 @@ the documentation and the linter cannot drift apart:
                     the DAG declared in the <!-- arch-lint:layer-dag -->
                     block (a layer may always include itself). Layers on
                     disk and layers in the block must agree.
-  2. intrinsic    - raw x86 intrinsics (immintrin.h, _mm*, __m128/256/512)
+  2. no-include   - "file -> layer" lines in the
+                    <!-- arch-lint:no-include --> block forbid a specific
+                    src/ file from including a layer even when its
+                    layer-dag edge would allow it (e.g. the fleet gateway
+                    must never include search/). Listed files must exist.
+  3. intrinsic    - raw x86 intrinsics (immintrin.h, _mm*, __m128/256/512)
                     may appear only in src/simd/vec_*.h and
                     src/util/saturate.h.
-  3. cancel-poll  - every file listed in the <!-- arch-lint:cancel-poll -->
+  4. cancel-poll  - every file listed in the <!-- arch-lint:cancel-poll -->
                     block must exist and contain a CancelToken poll
                     (stop_requested / throw_cancelled).
-  4. metric       - every literal metric name registered through obs
+  5. metric       - every literal metric name registered through obs
                     (counter("..."), histogram("..."), timer("...")) must
                     match the naming regex and be documented in
                     docs/observability.md (backtick spans; {a,b} brace
@@ -109,6 +114,22 @@ def parse_layer_dag(block_lines, doc):
     return dag
 
 
+def parse_no_include(block_lines, doc):
+    """'layer/file.ext -> layer1, layer2' lines -> {rel_file: set(layers)}."""
+    rules = {}
+    for line in block_lines:
+        if "->" not in line:
+            raise ValueError(f"{doc}: bad no-include line: {line!r}")
+        rel, layers = line.split("->", 1)
+        rel = rel.strip()
+        if "/" not in rel:
+            raise ValueError(
+                f"{doc}: no-include file {rel!r} must be layer/name.ext")
+        rules.setdefault(rel, set()).update(
+            l.strip() for l in layers.split(",") if l.strip())
+    return rules
+
+
 # ---------------------------------------------------------------------------
 # Checks. Each returns a list of (key, message); `key` is the stable
 # identity an allowlist entry suppresses.
@@ -146,6 +167,30 @@ def check_layer_dag(repo, dag):
                     f"src/{layer}/{name}: includes \"{target}/...\" but the "
                     f"declared DAG allows {layer} -> "
                     f"{{{', '.join(sorted(allowed)) or ''}}}",
+                ))
+    return findings
+
+
+def check_no_include(repo, rules):
+    findings = []
+    for rel, forbidden in sorted(rules.items()):
+        path = os.path.join(repo, "src", rel)
+        if not os.path.isfile(path):
+            findings.append((
+                f"no-include src/{rel}",
+                f"src/{rel}: listed in the no-include block of {ARCH_DOC} "
+                f"but does not exist",
+            ))
+            continue
+        hit = set()
+        for m in INCLUDE_RE.finditer(read(path)):
+            target = m.group(1)
+            if target in forbidden and target not in hit:
+                hit.add(target)
+                findings.append((
+                    f"no-include src/{rel} -> {target}",
+                    f"src/{rel}: includes \"{target}/...\" but {ARCH_DOC} "
+                    f"forbids this file from including {target}/",
                 ))
     return findings
 
@@ -279,6 +324,9 @@ def run_checks(repo, allow_path):
         dag = parse_layer_dag(
             parse_marked_block(arch_text, "<!-- arch-lint:layer-dag -->",
                                ARCH_DOC), ARCH_DOC)
+        no_include = parse_no_include(
+            parse_marked_block(arch_text, "<!-- arch-lint:no-include -->",
+                               ARCH_DOC), ARCH_DOC)
         poll_files = parse_marked_block(
             arch_text, "<!-- arch-lint:cancel-poll -->", ARCH_DOC)
     except ValueError as e:
@@ -286,6 +334,7 @@ def run_checks(repo, allow_path):
 
     findings = []
     findings += check_layer_dag(repo, dag)
+    findings += check_no_include(repo, no_include)
     findings += check_intrinsics(repo)
     findings += check_cancel_poll(repo, poll_files)
     findings += check_metrics(repo, obs_text)
@@ -314,11 +363,17 @@ def run_checks(repo, allow_path):
 SELF_TEST_ARCH = """# mini architecture
 <!-- arch-lint:layer-dag -->
 ```
-util   ->
-core   -> util
-filter -> util
-search -> filter, core, util
-obs    -> util
+util    ->
+core    -> util
+filter  -> util
+search  -> filter, core, util
+service -> search, util
+obs     -> util
+```
+<!-- arch-lint:no-include -->
+```
+service/gw.cpp -> search
+service/gone.cpp -> core
 ```
 <!-- arch-lint:cancel-poll -->
 ```
@@ -350,6 +405,10 @@ SELF_TEST_FILES = {
         ' counter("filter.undocumented_stat"); }\n'),
     # stage-one layering violation: filter may not reach up into search.
     "src/filter/bad_up.h": '#include "search/pool.h"\n',
+    # the DAG edge service -> search is legal, but the no-include block
+    # forbids exactly this file from taking it (the gateway invariant);
+    # service/gone.cpp is listed in the block yet absent on disk.
+    "src/service/gw.cpp": '#include "search/pool.h"\ninline void gw() {}\n',
     "src/search/pool.h": '#include "filter/sig.h"\ninline void pool() {}\n',
     "src/filter/sig.h": "inline void sig() {}\n",
     "src/util/buf.h": "inline void buf() {}\n",
@@ -358,6 +417,8 @@ SELF_TEST_FILES = {
 SELF_TEST_EXPECT = [
     "layer-dag src/core/bad_include.h -> search",
     "layer-dag src/filter/bad_up.h -> search",
+    "no-include src/service/gw.cpp -> search",
+    "no-include src/service/gone.cpp",
     "intrinsic src/core/raw_simd.cpp",
     "cancel-poll src/core/kernels.h",
     "metric BadName",
@@ -383,10 +444,14 @@ def self_test():
         dag = parse_layer_dag(
             parse_marked_block(arch_text, "<!-- arch-lint:layer-dag -->",
                                ARCH_DOC), ARCH_DOC)
+        no_include = parse_no_include(
+            parse_marked_block(arch_text, "<!-- arch-lint:no-include -->",
+                               ARCH_DOC), ARCH_DOC)
         poll = parse_marked_block(arch_text, "<!-- arch-lint:cancel-poll -->",
                                   ARCH_DOC)
         findings = []
         findings += check_layer_dag(tmp, dag)
+        findings += check_no_include(tmp, no_include)
         findings += check_intrinsics(tmp)
         findings += check_cancel_poll(tmp, poll)
         findings += check_metrics(tmp, read(os.path.join(tmp, OBS_DOC)))
