@@ -1,12 +1,45 @@
 #include "obs/instrument.h"
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "search/batch_scheduler.h"
 #include "search/inter_search.h"
 #include "search/thread_pool.h"
+#include "util/lock_order.h"
 
 namespace aalign::obs {
+
+void record_lock_stats() {
+  // The validator exposes cumulative totals; registry counters are
+  // monotonic adds, so publish deltas against the last published value.
+  // Exchange-based so concurrent snapshots never double-count.
+  static std::atomic<std::uint64_t> prev_edges{0};
+  static std::atomic<std::uint64_t> prev_contention{0};
+  static std::atomic<std::uint64_t> prev_contended{0};
+  static std::atomic<std::uint64_t> prev_violations{0};
+  const util::lock_order::Stats s = util::lock_order::stats();
+  const auto delta = [](std::atomic<std::uint64_t>& prev,
+                        std::uint64_t now) -> std::uint64_t {
+    const std::uint64_t before = prev.exchange(now, std::memory_order_acq_rel);
+    // A validator reset() mid-run moves totals backwards; restart from 0.
+    return now >= before ? now - before : now;
+  };
+  Registry& r = registry();
+  if (const auto d = delta(prev_edges, s.order_edges); d != 0) {
+    r.counter("lock.order_edges").add(d);
+  }
+  if (const auto d = delta(prev_contention, s.contention_ns); d != 0) {
+    r.counter("lock.contention_ns").add(d);
+  }
+  if (const auto d = delta(prev_contended, s.contended_locks); d != 0) {
+    r.counter("lock.contended_locks").add(d);
+  }
+  if (const auto d = delta(prev_violations, s.violations); d != 0) {
+    r.counter("lock.violations").add(d);
+  }
+}
 
 void record_pool_stats(const search::PoolStats& stats) {
   Registry& r = registry();

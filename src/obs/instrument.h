@@ -75,4 +75,12 @@ void record_filter_stats(const filter::FilterStats& stats);
 // skipped so absent backends don't materialize zero counters.
 void record_inter_tier(int tier, const search::InterTierStats& stats);
 
+// Publishes the lock-order validator's cumulative counters (util/
+// lock_order.h) as lock.{order_edges,contention_ns,contended_locks,
+// violations} deltas into the global registry. Debug-only series: all
+// zero when the validator is disabled or compiled out. obs/ owns this
+// bridge because the layer DAG forbids util/ -> obs/; called from
+// Registry::snapshot() so exports see current values.
+void record_lock_stats();
+
 }  // namespace aalign::obs

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "obs/instrument.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aalign::obs {
 
@@ -82,11 +85,16 @@ TimerSnapshot Timer::snapshot(std::string name) const {
 
 // Ordered maps give deterministic (sorted-by-name) snapshot/export order;
 // values are node-stable so returned references outlive rehashing.
+// obs.registry is the hierarchy *leaf*: no other aalign::Mutex may be
+// acquired while it is held (docs/concurrency.md).
 struct Registry::Impl {
-  mutable std::mutex mu;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers;
+  mutable Mutex mu{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      AALIGN_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      AALIGN_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers
+      AALIGN_GUARDED_BY(mu);
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -98,7 +106,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
     it = impl_->counters
@@ -109,7 +117,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
     it = impl_->histograms
@@ -120,7 +128,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 Timer& Registry::timer(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->timers.find(name);
   if (it == impl_->timers.end()) {
     it = impl_->timers.emplace(std::string(name), std::make_unique<Timer>())
@@ -130,7 +138,12 @@ Timer& Registry::timer(std::string_view name) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  // Publish lock-order/contention deltas (lock.* debug series) into the
+  // global registry before taking the registry lock: record_lock_stats()
+  // registers counters under the same non-recursive leaf mutex, so it
+  // must run first. Instance registries (tests) skip it.
+  if (this == &Registry::global()) record_lock_stats();
+  MutexLock lock(impl_->mu);
   Snapshot out;
   out.counters.reserve(impl_->counters.size());
   for (const auto& [name, c] : impl_->counters) {
@@ -148,7 +161,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   for (auto& [name, c] : impl_->counters) c->reset();
   for (auto& [name, h] : impl_->histograms) h->reset();
   for (auto& [name, t] : impl_->timers) t->reset();

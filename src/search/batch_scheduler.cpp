@@ -56,19 +56,19 @@ QueryProfileCache::QueryProfileCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
 std::uint64_t QueryProfileCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 std::uint64_t QueryProfileCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 std::uint64_t QueryProfileCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 std::size_t QueryProfileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
@@ -97,7 +97,7 @@ std::shared_ptr<const core::QueryContext> QueryProfileCache::get_or_build(
 
   std::shared_ptr<Slot> slot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto range = index_.equal_range(hash);
     for (auto it = range.first; it != range.second; ++it) {
       if ((*it->second)->key == key) {
@@ -128,13 +128,13 @@ std::shared_ptr<const core::QueryContext> QueryProfileCache::get_or_build(
 
   // Build outside the cache lock; the per-slot lock makes the build
   // happen exactly once even when several threads miss simultaneously.
-  std::lock_guard<std::mutex> build_lock(slot->build_mu);
+  MutexLock build_lock(slot->build_mu);
   if (!slot->ctx) {
     try {
       slot->ctx = std::make_shared<const core::QueryContext>(matrix, cfg,
                                                              opt, query);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       erase_slot_locked(slot);
       throw;
     }

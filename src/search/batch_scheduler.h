@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/query_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "search/database_search.h"
 #include "search/thread_pool.h"
 #include "seq/database.h"
@@ -60,22 +61,27 @@ class QueryProfileCache {
 
  private:
   struct Slot {
-    std::vector<std::uint8_t> key;
-    std::uint64_t hash = 0;
-    std::mutex build_mu;
-    std::shared_ptr<const core::QueryContext> ctx;
+    std::vector<std::uint8_t> key;   // immutable after insertion
+    std::uint64_t hash = 0;          // immutable after insertion
+    // Serializes the one-time context build; ordered *before* mu_ in the
+    // lock hierarchy (the failed-build path takes mu_ under it).
+    Mutex build_mu{"search.profile_cache.slot_build"};
+    std::shared_ptr<const core::QueryContext> ctx
+        AALIGN_GUARDED_BY(build_mu);
   };
   using SlotList = std::list<std::shared_ptr<Slot>>;
 
-  void erase_slot_locked(const std::shared_ptr<Slot>& slot);
+  void erase_slot_locked(const std::shared_ptr<Slot>& slot)
+      AALIGN_REQUIRES(mu_);
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  SlotList lru_;  // front = most recently used
-  std::unordered_multimap<std::uint64_t, SlotList::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable Mutex mu_{"search.profile_cache"};
+  SlotList lru_ AALIGN_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_multimap<std::uint64_t, SlotList::iterator> index_
+      AALIGN_GUARDED_BY(mu_);
+  std::uint64_t hits_ AALIGN_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ AALIGN_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ AALIGN_GUARDED_BY(mu_) = 0;
 };
 
 // Aggregate accounting of one BatchScheduler::run.

@@ -5,9 +5,10 @@
 #include <chrono>
 #include <deque>
 #include <exception>
-#include <mutex>
 
 #include "obs/instrument.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aalign::search {
 
@@ -23,8 +24,8 @@ namespace {
 // and keeps the steal-half transfer trivially race-free (no ABA, no bounded
 // ring). Padded out to a cache line so neighbouring locks don't false-share.
 struct alignas(64) WorkerDeque {
-  std::mutex mu;
-  std::deque<std::size_t> items;
+  Mutex mu{"search.pool.deque"};
+  std::deque<std::size_t> items AALIGN_GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -56,7 +57,7 @@ void parallel_for_work_stealing(
   std::atomic<std::size_t> remaining{count};
   std::atomic<bool> abort{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mu{"search.pool.error"};
   std::atomic<std::uint64_t> steals{0}, stolen_items{0}, steal_scans{0};
 
   auto worker = [&](int id) {
@@ -73,7 +74,7 @@ void parallel_for_work_stealing(
         std::size_t item = 0;
         bool have = false;
         {
-          std::lock_guard<std::mutex> lock(own.mu);
+          MutexLock lock(own.mu);
           if (!own.items.empty()) {
             item = own.items.front();
             own.items.pop_front();
@@ -88,17 +89,18 @@ void parallel_for_work_stealing(
           for (int off = 1; off < T; ++off) {
             WorkerDeque& victim =
                 deques[static_cast<std::size_t>((id + off) % T)];
-            std::unique_lock<std::mutex> vlock(victim.mu, std::try_to_lock);
-            if (!vlock.owns_lock()) continue;  // contended: try the next one
+            if (!victim.mu.try_lock()) continue;  // contended: try the next
             const std::size_t n = victim.items.size();
-            if (n == 0) continue;
-            const std::size_t take = (n + 1) / 2;  // steal-half, round up
-            grabbed.assign(victim.items.end() - static_cast<long>(take),
-                           victim.items.end());
-            victim.items.erase(
-                victim.items.end() - static_cast<long>(take),
-                victim.items.end());
-            break;
+            if (n > 0) {
+              const std::size_t take = (n + 1) / 2;  // steal-half, round up
+              grabbed.assign(victim.items.end() - static_cast<long>(take),
+                             victim.items.end());
+              victim.items.erase(
+                  victim.items.end() - static_cast<long>(take),
+                  victim.items.end());
+            }
+            victim.mu.unlock();
+            if (!grabbed.empty()) break;
           }
           if (grabbed.empty()) {
             steal_scans.fetch_add(1, std::memory_order_relaxed);
@@ -117,7 +119,7 @@ void parallel_for_work_stealing(
           stolen_items.fetch_add(grabbed.size(), std::memory_order_relaxed);
           item = grabbed.front();
           {
-            std::lock_guard<std::mutex> lock(own.mu);
+            MutexLock lock(own.mu);
             own.items.insert(own.items.end(), grabbed.begin() + 1,
                              grabbed.end());
           }
@@ -128,7 +130,7 @@ void parallel_for_work_stealing(
       }
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mu);
         if (!first_error) first_error = std::current_exception();
       }
       abort.store(true, std::memory_order_release);

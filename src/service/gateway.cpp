@@ -1,11 +1,12 @@
 #include "service/gateway.h"
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -43,8 +44,11 @@ struct Gateway::Scatter {
   std::shared_ptr<PendingRequest> pending;
   Clock::time_point shard_deadline;  // absolute bound on each shard call
   std::int64_t shard_deadline_ms = 0;  // relative budget sent on the wire
-  std::mutex mu;                     // guards responses
-  std::vector<WireResponse> responses;  // per shard; ok=false => no hits
+  Mutex mu{"service.gateway.scatter"};
+  // Per shard; ok=false => no hits. The acq_rel fetch_sub on `remaining`
+  // already publishes every slot to the merging thread; the lock makes
+  // the guard checkable and costs nothing (the merge runs uncontended).
+  std::vector<WireResponse> responses AALIGN_GUARDED_BY(mu);
   std::atomic<std::size_t> remaining{0};
 };
 
@@ -78,17 +82,25 @@ class Gateway::ShardClient {
   ~ShardClient() { stop(); }
 
   void enqueue(std::shared_ptr<Scatter> s) {
+    bool draining = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) {
-        // Raced a shutdown: fail this shard's leg immediately so the
-        // scatter still completes.
-        record(*s, error_response(s->pending->req.id,
-                                  ErrorCode::ServerShutdown,
-                                  "gateway is draining"));
-        return;
+        draining = true;
+      } else {
+        queue_.push_back(s);
       }
-      queue_.push_back(std::move(s));
+    }
+    if (draining) {
+      // Raced a shutdown: fail this shard's leg so the scatter still
+      // completes. Outside mu_: record() takes the scatter lock and may
+      // run the whole merge, neither of which belongs under the queue
+      // lock (shard_queue is ordered before scatter in the hierarchy,
+      // but the merge also completes the pending latch).
+      record(*s, error_response(s->pending->req.id,
+                                ErrorCode::ServerShutdown,
+                                "gateway is draining"));
+      return;
     }
     cv_.notify_one();
   }
@@ -97,14 +109,14 @@ class Gateway::ShardClient {
   // exits and the connection closes.
   void stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) {
-        if (thread_.joinable()) thread_.join();
-        return;
-      }
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
+    // Join strictly outside mu_: the draining worker must still take the
+    // lock to pop its remaining jobs, so joining under it would deadlock
+    // the drain. (The previous revision joined under mu_ on the repeated-
+    // stop path - exactly the bug the lock discipline exists to prevent.)
     if (thread_.joinable()) thread_.join();
   }
 
@@ -113,8 +125,8 @@ class Gateway::ShardClient {
     for (;;) {
       std::shared_ptr<Scatter> job;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!closed_ && queue_.empty()) cv_.wait(lock);
         if (queue_.empty()) return;  // closed_ and drained
         job = std::move(queue_.front());
         queue_.pop_front();
@@ -129,7 +141,7 @@ class Gateway::ShardClient {
 
   void record(Scatter& s, WireResponse r) {
     {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       s.responses[index_] = std::move(r);
     }
     if (s.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -235,10 +247,10 @@ class Gateway::ShardClient {
   Clock::time_point next_attempt_{};
   bool connected_once_ = false;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Scatter>> queue_;
-  bool closed_ = false;
+  Mutex mu_{"service.gateway.shard_queue"};
+  CondVar cv_;
+  std::deque<std::shared_ptr<Scatter>> queue_ AALIGN_GUARDED_BY(mu_);
+  bool closed_ AALIGN_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -323,6 +335,11 @@ WireResponse Gateway::execute(WireRequest req) {
 }
 
 void Gateway::merge_and_complete(Scatter& s) {
+  // Last finisher: no other thread touches this scatter any more, but
+  // the responses are formally guarded, so hold the lock for the read
+  // (uncontended by construction). pending->complete() is called under
+  // it - scatter orders before service.pending in the hierarchy.
+  MutexLock lock(s.mu);
   obs::Registry& reg = obs::registry();
   const auto merge_start = Clock::now();
   reg.histogram("gateway.scatter_us")

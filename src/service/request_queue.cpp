@@ -6,7 +6,7 @@ namespace aalign::service {
 
 void PendingRequest::complete(WireResponse resp) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (done_) return;  // defensive: first completion wins
     resp_ = std::move(resp);
     done_ = true;
@@ -15,18 +15,26 @@ void PendingRequest::complete(WireResponse resp) {
 }
 
 const WireResponse& PendingRequest::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  MutexLock lock(mu_);
+  while (!done_) cv_.wait(lock);
+  // resp_ is immutable once done_ is set; the reference stays valid after
+  // the lock drops.
   return resp_;
 }
 
 bool PendingRequest::wait_for(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, timeout, [this] { return done_; });
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (!done_) {
+    if (cv_.wait_until(lock, until) == std::cv_status::timeout) {
+      return done_;  // one last predicate check after the deadline
+    }
+  }
+  return true;
 }
 
 bool PendingRequest::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return done_;
 }
 
@@ -49,7 +57,7 @@ RequestQueue::PushOutcome RequestQueue::push(
     std::shared_ptr<PendingRequest>* victim) {
   if (victim != nullptr) victim->reset();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return PushOutcome::Closed;
     if (items_.size() < capacity_) {
       items_.push_back(std::move(r));
@@ -76,8 +84,8 @@ RequestQueue::PushOutcome RequestQueue::push(
 }
 
 std::shared_ptr<PendingRequest> RequestQueue::pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && items_.empty()) cv_.wait(lock);
   if (items_.empty()) return nullptr;  // closed and drained
   std::shared_ptr<PendingRequest> r = std::move(items_.front());
   items_.pop_front();
@@ -86,19 +94,19 @@ std::shared_ptr<PendingRequest> RequestQueue::pop() {
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 

@@ -15,14 +15,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "core/cancel.h"
 #include "service/protocol.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aalign::service {
 
@@ -47,10 +47,13 @@ struct PendingRequest {
   bool done() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  WireResponse resp_;
+  // service.pending is near the bottom of the hierarchy: completion paths
+  // take it while holding scatter/queue locks, and it guards only the
+  // latch (never another lock underneath).
+  mutable Mutex mu_{"service.pending"};
+  CondVar cv_;
+  bool done_ AALIGN_GUARDED_BY(mu_) = false;
+  WireResponse resp_ AALIGN_GUARDED_BY(mu_);
 };
 
 // Builds a PendingRequest with arrival stamped now and the token's
@@ -87,10 +90,10 @@ class RequestQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<PendingRequest>> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"service.request_queue"};
+  CondVar cv_;
+  std::deque<std::shared_ptr<PendingRequest>> items_ AALIGN_GUARDED_BY(mu_);
+  bool closed_ AALIGN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aalign::service

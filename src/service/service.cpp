@@ -76,7 +76,7 @@ AlignService::~AlignService() { shutdown(); }
 
 void AlignService::shutdown() {
   queue_.close();
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (joined_) return;
   joined_ = true;
   for (std::thread& t : executors_) {

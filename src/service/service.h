@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -30,6 +29,8 @@
 #include "seq/database.h"
 #include "service/handler.h"
 #include "service/request_queue.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aalign::service {
 
@@ -101,8 +102,8 @@ class AlignService : public RequestHandler {
   seq::Database db_;
   RequestQueue queue_;
   std::vector<std::thread> executors_;
-  std::mutex shutdown_mu_;
-  bool joined_ = false;
+  Mutex shutdown_mu_{"service.shutdown"};
+  bool joined_ AALIGN_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace aalign::service

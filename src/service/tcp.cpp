@@ -107,7 +107,7 @@ void TcpServer::request_stop() {
 
 void TcpServer::join() {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     if (joined_) return;
     joined_ = true;
   }
@@ -115,7 +115,7 @@ void TcpServer::join() {
   // The accept loop has exited, so connections_ no longer grows.
   std::vector<std::thread> conns;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     conns.swap(connections_);
   }
   for (std::thread& t : conns) {
@@ -135,7 +135,7 @@ void TcpServer::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;  // racing a shutdown() or transient failure
     obs::registry().counter("service.connections").add();
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     connections_.emplace_back([this, fd] { serve_connection(fd); });
   }
 }

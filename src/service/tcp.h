@@ -18,12 +18,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/handler.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aalign::service {
 
@@ -67,9 +68,9 @@ class TcpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  bool joined_ = false;
+  Mutex conn_mu_{"service.tcp.connections"};
+  std::vector<std::thread> connections_ AALIGN_GUARDED_BY(conn_mu_);
+  bool joined_ AALIGN_GUARDED_BY(conn_mu_) = false;
 };
 
 }  // namespace aalign::service

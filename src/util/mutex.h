@@ -1,0 +1,148 @@
+// Annotated, named locking primitives: the tree's one way to lock.
+//
+// aalign::Mutex wraps std::mutex with (a) Clang Thread Safety Analysis
+// capability annotations, so a clang build statically proves every
+// GUARDED_BY field is only touched under its lock, and (b) a hierarchy
+// name reported to the lock-order validator (util/lock_order.h), so a
+// debug run dynamically proves locks are always taken in the documented
+// order (docs/concurrency.md holds the hierarchy table).
+//
+// Rules of use (enforced by arch-lint's raw-sync check outside util/):
+//   - never declare std::mutex / std::condition_variable members; use
+//     Mutex / CondVar with a hierarchy name from docs/concurrency.md.
+//   - hold locks via MutexLock (scoped); bare lock()/unlock() only where
+//     a scope genuinely cannot express the region (document why).
+//   - every CondVar wait sits in a while(predicate) loop under the lock,
+//     bounded by wait_until when a deadline exists.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
+namespace aalign::util {
+
+class AALIGN_CAPABILITY("mutex") Mutex {
+ public:
+  // `name` is a hierarchy level from docs/concurrency.md; it must
+  // outlive the Mutex (string literals in practice).
+  explicit Mutex(const char* name = "unnamed") noexcept : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AALIGN_ACQUIRE() {
+    if (!lock_order::enabled()) {
+      mu_.lock();
+      return;
+    }
+    lock_order::on_acquire(this, name_);
+    if (mu_.try_lock()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    const auto blocked = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - t0);
+    lock_order::add_contention_ns(
+        static_cast<std::uint64_t>(blocked.count() < 0 ? 0 : blocked.count()));
+  }
+
+  bool try_lock() AALIGN_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (lock_order::enabled()) lock_order::on_try_acquired(this, name_);
+    return true;
+  }
+
+  void unlock() AALIGN_RELEASE() {
+    if (lock_order::enabled()) lock_order::on_release(this);
+    mu_.unlock();
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;  // waits on native() with adopt/release tricks
+  std::mutex& native() noexcept { return mu_; }
+
+  std::mutex mu_;
+  const char* name_;
+};
+
+// Scoped holder; the only sanctioned way to hold a Mutex for a region.
+class AALIGN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AALIGN_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() AALIGN_RELEASE() { mu_->unlock(); }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+};
+
+// Condition variable bound to Mutex. The API is deliberately narrow:
+// there is no predicate-less blocking entry point other than wait(),
+// which is documented (and reviewed) to appear only inside a
+// while(predicate) loop written out under the lock - the explicit loop
+// keeps the predicate's guarded reads visible to the thread-safety
+// analysis (a lambda would be analyzed as an unlocked function).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // One wakeup. Caller holds `lock` and loops on its predicate.
+  // Not analyzed: the wait releases and reacquires the mutex through a
+  // std::unique_lock adopt/release round-trip TSA cannot model; from the
+  // caller's point of view the lock is held throughout.
+  void wait(MutexLock& lock) AALIGN_NO_THREAD_SAFETY_ANALYSIS {
+    Mutex& mu = *lock.mu_;
+    if (lock_order::enabled()) lock_order::on_release(&mu);
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    if (lock_order::enabled()) lock_order::on_acquire(&mu, mu.name());
+  }
+
+  // One wakeup or deadline, whichever first. Returns std::cv_status::
+  // timeout when the deadline passed; the caller's while(predicate) loop
+  // decides what that means. Same analysis escape as wait().
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline)
+      AALIGN_NO_THREAD_SAFETY_ANALYSIS {
+    Mutex& mu = *lock.mu_;
+    if (lock_order::enabled()) lock_order::on_release(&mu);
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    if (lock_order::enabled()) lock_order::on_acquire(&mu, mu.name());
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aalign::util
+
+namespace aalign {
+// The short names the rest of the tree uses.
+using util::CondVar;
+using util::Mutex;
+using util::MutexLock;
+}  // namespace aalign

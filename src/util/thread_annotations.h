@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Every concurrent type in the tree is annotated with these so that a
+// clang build with -Werror=thread-safety -Wthread-safety-beta proves the
+// locking discipline statically: which mutex guards which field, which
+// private methods require which capability, and which scopes acquire and
+// release what. On GCC (the default local toolchain) every macro expands
+// to nothing, so the annotations are pure documentation there; the CI
+// `thread-safety` job is the enforcing build.
+//
+// Conventions (see docs/concurrency.md for the full rules):
+//   - fields:    Type field_ AALIGN_GUARDED_BY(mu_);
+//   - methods:   void step_locked() AALIGN_REQUIRES(mu_);
+//                (suffix `_locked` on anything with a REQUIRES contract)
+//   - lockers:   class AALIGN_SCOPED_CAPABILITY MutexLock { ... };
+//   - escapes:   AALIGN_NO_THREAD_SAFETY_ANALYSIS only on code the
+//                analysis cannot model (CondVar internals, adopt/release
+//                tricks), always with a comment saying why.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AALIGN_HAS_THREAD_ANNOTATION(x) __has_attribute(x)
+#else
+#define AALIGN_HAS_THREAD_ANNOTATION(x) 0
+#endif
+
+#if AALIGN_HAS_THREAD_ANNOTATION(capability)
+#define AALIGN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AALIGN_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that models a capability (a lockable thing). The string names
+// the capability kind in diagnostics ("mutex" for all of ours).
+#define AALIGN_CAPABILITY(x) AALIGN_THREAD_ANNOTATION(capability(x))
+
+// A RAII type whose constructor acquires and destructor releases.
+#define AALIGN_SCOPED_CAPABILITY AALIGN_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable is protected by the given capability (or by the pointed-
+// to capability for PT_).
+#define AALIGN_GUARDED_BY(x) AALIGN_THREAD_ANNOTATION(guarded_by(x))
+#define AALIGN_PT_GUARDED_BY(x) AALIGN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function contracts: caller must hold / must not hold.
+#define AALIGN_REQUIRES(...) \
+  AALIGN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define AALIGN_EXCLUDES(...) \
+  AALIGN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function acquires/releases the capability (for the wrapper types and
+// for the rare unlock-then-relock helper).
+#define AALIGN_ACQUIRE(...) \
+  AALIGN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define AALIGN_RELEASE(...) \
+  AALIGN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define AALIGN_TRY_ACQUIRE(...) \
+  AALIGN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Returns a reference to the capability that guards the annotated data.
+#define AALIGN_RETURN_CAPABILITY(x) \
+  AALIGN_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: the function body is not analyzed. Use only where the
+// analysis cannot model the code (documented at each site).
+#define AALIGN_NO_THREAD_SAFETY_ANALYSIS \
+  AALIGN_THREAD_ANNOTATION(no_thread_safety_analysis)

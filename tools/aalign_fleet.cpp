@@ -39,6 +39,10 @@
 
 namespace {
 
+// Async-signal-safe by construction (docs/concurrency.md, enforced by
+// clang-tidy's bugprone-signal-handler): the handler only stores to a
+// volatile sig_atomic_t; the supervisor loop polls it and drives the
+// gateway-then-shards teardown cascade from normal context.
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 

@@ -62,6 +62,11 @@ using namespace aalign;
 
 namespace {
 
+// Async-signal-safe by construction (docs/concurrency.md, enforced by
+// clang-tidy's bugprone-signal-handler): the handler only stores to a
+// volatile sig_atomic_t. No locks, no allocation, no IO, no CondVar
+// notify - the main loop polls the flag and runs the drain cascade in
+// normal thread context.
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Architecture linter for the aalign repo (CI: the lint job).
 
-Five checks, all against the working tree, all driven by the
+Eight checks, all against the working tree, all driven by the
 machine-readable blocks in docs/architecture.md ("Checked invariants") so
 the documentation and the linter cannot drift apart:
 
@@ -27,6 +27,22 @@ the documentation and the linter cannot drift apart:
                     groups expand, a trailing * is a prefix wildcard).
                     Names assembled at runtime from a prefix are outside
                     the literal scan.
+  6. raw-sync     - raw std:: synchronization primitives (std::mutex,
+                    std::condition_variable and friends) may appear only
+                    under src/util/ (where aalign::Mutex / aalign::CondVar
+                    wrap them with thread-safety annotations and
+                    lock-order hooks). Everything else must use the
+                    annotated wrappers from util/mutex.h.
+  7. mutex-guard  - a src/ file outside util/ that declares an
+                    aalign::Mutex member must carry at least one
+                    AALIGN_GUARDED_BY / AALIGN_REQUIRES annotation: a
+                    lock that guards nothing visible to the analysis is
+                    either dead or hiding its contract.
+  8. test-labels  - every tests/*.cpp that spawns threads (std::thread /
+                    std::jthread / std::async) must be registered in
+                    tests/CMakeLists.txt with a label containing
+                    "stress", so the TSan CI job (ctest -L stress)
+                    exercises it.
 
 Deliberate violations live in tools/arch_lint_allow.txt, one
 "<key>  # justification" per line; entries without a justification and
@@ -59,6 +75,14 @@ METRIC_RE = re.compile(r'\b(?:counter|histogram|timer)\s*\(\s*"([^"]*)"')
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 BACKTICK_RE = re.compile(r"`([^`]+)`")
 CANCEL_POLL_TOKENS = ("stop_requested", "throw_cancelled")
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:recursive_mutex|recursive_timed_mutex|shared_mutex|"
+    r"shared_timed_mutex|timed_mutex|mutex|condition_variable_any|"
+    r"condition_variable)\b")
+MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+\w+\s*[{;(=]")
+GUARD_ANNOTATION_TOKENS = ("AALIGN_GUARDED_BY", "AALIGN_REQUIRES")
+TEST_THREAD_RE = re.compile(r"\bstd::(?:thread|jthread|async)\b")
+AALIGN_TEST_RE = re.compile(r"\baalign_test\(\s*(\w+)([^)]*)\)")
 
 
 def iter_src_files(repo):
@@ -290,6 +314,73 @@ def check_metrics(repo, obs_text):
     return findings
 
 
+def check_raw_sync(repo):
+    """std:: sync primitives belong in util/ only (the annotated wrappers)."""
+    findings = []
+    for layer, name, path in iter_src_files(repo):
+        if layer == "util":
+            continue  # util/mutex.h + util/lock_order.cpp wrap the raw types
+        for lineno, line in enumerate(read(path).splitlines(), 1):
+            if RAW_SYNC_RE.search(line):
+                findings.append((
+                    f"raw-sync src/{layer}/{name}",
+                    f"src/{layer}/{name}:{lineno}: raw std:: sync primitive "
+                    f"outside util/ - use aalign::Mutex / aalign::CondVar "
+                    f"from util/mutex.h: {line.strip()}",
+                ))
+                break  # one finding per file is enough
+    return findings
+
+
+def check_mutex_guard(repo):
+    """A Mutex member outside util/ must guard something the analysis sees."""
+    findings = []
+    for layer, name, path in iter_src_files(repo):
+        if layer == "util":
+            continue
+        text = read(path)
+        if not MUTEX_MEMBER_RE.search(text):
+            continue
+        if not any(tok in text for tok in GUARD_ANNOTATION_TOKENS):
+            findings.append((
+                f"mutex-guard src/{layer}/{name}",
+                f"src/{layer}/{name}: declares an aalign::Mutex but carries "
+                f"no {' / '.join(GUARD_ANNOTATION_TOKENS)} annotation - "
+                f"name the fields it guards (util/thread_annotations.h)",
+            ))
+    return findings
+
+
+def check_test_labels(repo):
+    """Thread-spawning tests must carry a stress label (the TSan job's -L)."""
+    findings = []
+    tests_dir = os.path.join(repo, "tests")
+    cml = os.path.join(tests_dir, "CMakeLists.txt")
+    if not os.path.isdir(tests_dir) or not os.path.isfile(cml):
+        return findings
+    labels = {}
+    for m in AALIGN_TEST_RE.finditer(read(cml)):
+        label_arg = re.search(r"\bLABEL\s+(\S+)", m.group(2))
+        labels[m.group(1)] = label_arg.group(1) if label_arg else "tier1"
+    for fname in sorted(os.listdir(tests_dir)):
+        if not fname.endswith(".cpp"):
+            continue
+        if not TEST_THREAD_RE.search(read(os.path.join(tests_dir, fname))):
+            continue
+        label = labels.get(fname[: -len(".cpp")])
+        if label is None:
+            continue  # helper TU compiled into another registered test
+        if "stress" not in label:
+            findings.append((
+                f"test-labels tests/{fname}",
+                f"tests/{fname}: spawns threads (std::thread / jthread / "
+                f"async) but is registered with label '{label}' - use "
+                f"LABEL tier1_stress so the TSan job (ctest -L stress) "
+                f"runs it",
+            ))
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # Allowlist
 # ---------------------------------------------------------------------------
@@ -338,6 +429,9 @@ def run_checks(repo, allow_path):
     findings += check_intrinsics(repo)
     findings += check_cancel_poll(repo, poll_files)
     findings += check_metrics(repo, obs_text)
+    findings += check_raw_sync(repo)
+    findings += check_mutex_guard(repo)
+    findings += check_test_labels(repo)
 
     allow, allow_errors = load_allowlist(allow_path)
     errors += allow_errors
@@ -412,6 +506,25 @@ SELF_TEST_FILES = {
     "src/search/pool.h": '#include "filter/sig.h"\ninline void pool() {}\n',
     "src/filter/sig.h": "inline void sig() {}\n",
     "src/util/buf.h": "inline void buf() {}\n",
+    # raw std::mutex member outside util/ (the annotated-wrapper invariant).
+    "src/search/raw_mu.h": (
+        "#include <mutex>\nstruct RawGuard { std::mutex mu_; };\n"),
+    # an aalign::Mutex member with no GUARDED_BY/REQUIRES in the file: the
+    # lock's contract is invisible to the thread-safety analysis.
+    "src/service/unannotated.h": (
+        '#include "util/mutex.h"\n'
+        "struct Latch { aalign::Mutex mu_{\"svc.latch\"}; int state_ = 0; };\n"),
+    # raw std::mutex inside util/ is sanctioned (the wrapper layer itself).
+    "src/util/wrap.h": "#include <mutex>\nstruct W { std::mutex raw_; };\n",
+    # test-labels: test_threads spawns a thread but is registered plain
+    # tier1; test_ok does the same under a stress label and passes.
+    "tests/CMakeLists.txt": (
+        "aalign_test(test_threads)\n"
+        "aalign_test(test_ok LABEL tier1_stress TIMEOUT 600)\n"),
+    "tests/test_threads.cpp": (
+        "#include <thread>\nvoid t() { std::thread w; w.join(); }\n"),
+    "tests/test_ok.cpp": (
+        "#include <thread>\nvoid t() { std::thread w; w.join(); }\n"),
 }
 
 SELF_TEST_EXPECT = [
@@ -424,6 +537,9 @@ SELF_TEST_EXPECT = [
     "metric BadName",
     "metric undocumented.metric",
     "metric filter.undocumented_stat",
+    "raw-sync src/search/raw_mu.h",
+    "mutex-guard src/service/unannotated.h",
+    "test-labels tests/test_threads.cpp",
 ]
 
 
@@ -455,6 +571,9 @@ def self_test():
         findings += check_intrinsics(tmp)
         findings += check_cancel_poll(tmp, poll)
         findings += check_metrics(tmp, read(os.path.join(tmp, OBS_DOC)))
+        findings += check_raw_sync(tmp)
+        findings += check_mutex_guard(tmp)
+        findings += check_test_labels(tmp)
         keys = {k for k, _ in findings}
 
         failures = [k for k in SELF_TEST_EXPECT if k not in keys]

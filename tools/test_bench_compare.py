@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (CI: the lint job).
+
+Covers the pieces a wrong perf gate would silently break: direction
+inference from metric names, median-of-N noise filtering, the
+warn/fail threshold ladder in Comparison.check, series row identity,
+and the end-to-end schema / tool-mismatch / workload-mismatch guards.
+
+  python3 tools/test_bench_compare.py
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from unittest import mock
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_compare as bc
+
+
+def make_doc(tool="bench_kernels", headline_name="gcups", headline=100.0,
+             workload=None, series=None):
+    doc = {
+        "schema": bc.SCHEMA,
+        "schema_version": bc.SCHEMA_VERSION,
+        "run": {"tool": tool},
+        "headline": {"name": headline_name, "value": headline},
+    }
+    if workload is not None:
+        doc["workload"] = workload
+    if series is not None:
+        doc["series"] = series
+    return doc
+
+
+class DirectionInference(unittest.TestCase):
+    def test_lower_is_better_markers(self):
+        for name in ("wall_seconds", "latency_us", "merge_ns", "scatter_ms",
+                     "elapsed_s", "Wall_Seconds"):
+            self.assertTrue(bc.lower_is_better(name), name)
+
+    def test_higher_is_better_default(self):
+        for name in ("gcups", "speedup", "items_per_second", "hit_share",
+                     "survivor_rate"):
+            self.assertFalse(bc.lower_is_better(name), name)
+
+    def test_regression_sign_follows_direction(self):
+        # Throughput dropping 100 -> 80 is a 20% regression...
+        self.assertAlmostEqual(bc.regression_pct("gcups", 100.0, 80.0), 20.0)
+        # ...and rising is an improvement (negative).
+        self.assertAlmostEqual(bc.regression_pct("gcups", 100.0, 120.0), -20.0)
+        # Latency rising 100 -> 130 is a 30% regression.
+        self.assertAlmostEqual(
+            bc.regression_pct("latency_us", 100.0, 130.0), 30.0)
+        self.assertAlmostEqual(
+            bc.regression_pct("latency_us", 100.0, 70.0), -30.0)
+
+    def test_zero_baseline_never_divides(self):
+        self.assertEqual(bc.regression_pct("gcups", 0, 50.0), 0.0)
+
+
+class MedianOfN(unittest.TestCase):
+    def test_median_filters_one_bad_run(self):
+        # One run hit by scheduler noise must not fail the gate.
+        self.assertAlmostEqual(bc.median_of([99.0, 10.0, 98.0]), 98.0)
+
+    def test_even_count_interpolates(self):
+        self.assertAlmostEqual(bc.median_of([1.0, 3.0]), 2.0)
+
+    def test_single_candidate_passthrough(self):
+        self.assertEqual(bc.median_of([42.0]), 42.0)
+
+
+class ThresholdLadder(unittest.TestCase):
+    def check_one(self, base, cands, gated=True, name="gcups"):
+        cmp_ = bc.Comparison(warn_pct=10.0, fail_pct=25.0)
+        cmp_.check(f"headline.{name}", name, base, cands, gated=gated)
+        return cmp_
+
+    def test_within_warn_is_ok(self):
+        cmp_ = self.check_one(100.0, [95.0])
+        self.assertEqual((cmp_.warnings, cmp_.failures), ([], []))
+        self.assertIn("[ok  ]", cmp_.lines[0])
+
+    def test_between_warn_and_fail_warns(self):
+        cmp_ = self.check_one(100.0, [85.0])  # 15% > warn 10, < fail 25
+        self.assertEqual(len(cmp_.warnings), 1)
+        self.assertEqual(cmp_.failures, [])
+        self.assertIn("[warn]", cmp_.lines[0])
+
+    def test_past_fail_fails(self):
+        cmp_ = self.check_one(100.0, [70.0])  # 30% > fail 25
+        self.assertEqual(len(cmp_.failures), 1)
+        self.assertIn("[FAIL]", cmp_.lines[0])
+
+    def test_improvement_never_warns(self):
+        cmp_ = self.check_one(100.0, [160.0])
+        self.assertEqual((cmp_.warnings, cmp_.failures), ([], []))
+
+    def test_ungated_is_informational_only(self):
+        cmp_ = self.check_one(100.0, [10.0], gated=False)
+        self.assertEqual((cmp_.warnings, cmp_.failures), ([], []))
+        self.assertIn("[info]", cmp_.lines[0])
+
+    def test_median_applied_before_thresholds(self):
+        cmp_ = self.check_one(100.0, [98.0, 5.0, 97.0])  # median 97 -> 3%
+        self.assertEqual((cmp_.warnings, cmp_.failures), ([], []))
+
+
+class RowIdentity(unittest.TestCase):
+    def test_key_uses_strings_and_shape_fields_only(self):
+        row = {"kind": "local", "threads": 8, "gcups": 12.5, "wall_seconds": 3}
+        key = bc.row_key(row)
+        self.assertEqual(key, (("kind", "local"), ("threads", 8)))
+
+    def test_perf_fields_do_not_split_identity(self):
+        a = {"kind": "local", "threads": 8, "gcups": 12.5}
+        b = {"kind": "local", "threads": 8, "gcups": 7.0}
+        self.assertEqual(bc.row_key(a), bc.row_key(b))
+
+
+class EndToEnd(unittest.TestCase):
+    """Drives bench_compare.main() against real temp documents."""
+
+    def run_main(self, baseline, candidates, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            bpath = os.path.join(tmp, "base.json")
+            with open(bpath, "w", encoding="utf-8") as f:
+                json.dump(baseline, f)
+            cpaths = []
+            for i, c in enumerate(candidates):
+                p = os.path.join(tmp, f"cand{i}.json")
+                with open(p, "w", encoding="utf-8") as f:
+                    json.dump(c, f)
+                cpaths.append(p)
+            argv = (["bench_compare.py", "--baseline", bpath,
+                     "--candidate"] + cpaths + list(extra_args))
+            out = io.StringIO()
+            with mock.patch.object(sys, "argv", argv), \
+                    contextlib.redirect_stdout(out):
+                try:
+                    code = bc.main()
+                except SystemExit as e:  # sys.exit(message) inside main
+                    return e.code, out.getvalue()
+            return code, out.getvalue()
+
+    def test_headline_regression_fails(self):
+        code, out = self.run_main(make_doc(headline=100.0),
+                                  [make_doc(headline=70.0)])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", out)
+
+    def test_headline_warn_still_passes(self):
+        code, out = self.run_main(make_doc(headline=100.0),
+                                  [make_doc(headline=85.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("warning", out)
+
+    def test_median_of_three_absorbs_outlier(self):
+        code, out = self.run_main(
+            make_doc(headline=100.0),
+            [make_doc(headline=99.0), make_doc(headline=10.0),
+             make_doc(headline=98.0)])
+        self.assertEqual(code, 0)
+        self.assertIn("bench_compare: OK", out)
+
+    def test_tool_mismatch_rejected(self):
+        code, _ = self.run_main(make_doc(tool="bench_kernels"),
+                                [make_doc(tool="bench_search")])
+        self.assertIsInstance(code, str)
+        self.assertIn("tool mismatch", code)
+
+    def test_schema_version_rejected(self):
+        bad = make_doc()
+        bad["schema_version"] = bc.SCHEMA_VERSION + 1
+        code, _ = self.run_main(make_doc(), [bad])
+        self.assertIsInstance(code, str)
+        self.assertIn("not a aalign.run", code)
+
+    def test_headline_name_mismatch_rejected(self):
+        code, _ = self.run_main(make_doc(headline_name="gcups"),
+                                [make_doc(headline_name="latency_us")])
+        self.assertIsInstance(code, str)
+        self.assertIn("missing headline", code)
+
+    def test_workload_mismatch_disables_strict_gating(self):
+        series = {"rows": [{"kind": "local", "threads": 4, "gcups": 100.0}]}
+        bad_series = {"rows": [{"kind": "local", "threads": 4, "gcups": 10.0}]}
+        base = make_doc(workload={"scale": 1.0}, series=series)
+        cand = make_doc(workload={"scale": 0.05}, series=bad_series)
+        code, out = self.run_main(base, [cand], extra_args=["--strict"])
+        # The 90% series regression is demoted to info: quick-mode numbers
+        # are not comparable to full-scale ones.
+        self.assertEqual(code, 0)
+        self.assertIn("workload differs", out)
+        self.assertIn("[info]", out)
+
+    def test_strict_gates_matched_series_rows(self):
+        base = make_doc(workload={"scale": 1.0}, series={
+            "rows": [{"kind": "local", "threads": 4, "gcups": 100.0}]})
+        cand = make_doc(workload={"scale": 1.0}, series={
+            "rows": [{"kind": "local", "threads": 4, "gcups": 60.0}]})
+        code, out = self.run_main(base, [cand], extra_args=["--strict"])
+        self.assertEqual(code, 1)
+        self.assertIn("rows[local,4].gcups", out)
+
+    def test_shape_fields_never_gated(self):
+        # `threads` changing is a workload identity change, not a perf
+        # regression: the row simply fails to match, nothing is gated.
+        base = make_doc(series={
+            "rows": [{"kind": "local", "threads": 4, "gcups": 100.0}]})
+        cand = make_doc(series={
+            "rows": [{"kind": "local", "threads": 8, "gcups": 100.0}]})
+        code, out = self.run_main(base, [cand], extra_args=["--strict"])
+        self.assertEqual(code, 0)
+        self.assertNotIn("rows[", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
